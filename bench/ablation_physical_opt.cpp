@@ -1,0 +1,71 @@
+// Ablation: heuristic vs "physical optimization" mapping (paper §1 and
+// related work).
+//
+// The paper dismisses simulated-annealing-class methods for production
+// use: "though physical optimization algorithms produce high-quality
+// solutions (better than heuristic algorithms), they tend to be very
+// slow".  This harness quantifies both halves of that sentence with our
+// AnnealingLB against TopoLB/TopoCentLB, cold and warm-started.
+#include "bench/common.hpp"
+#include "graph/builders.hpp"
+#include "topo/factory.hpp"
+
+using namespace topomap;
+
+int main(int argc, char** argv) {
+  CliParser cli("Ablation: heuristics vs simulated annealing");
+  cli.add_option("seed", "RNG seed", "1");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  bench::preamble("heuristic vs physical-optimization ablation", seed);
+
+  struct Case {
+    std::string name;
+    graph::TaskGraph g;
+    topo::TopologyPtr topo;
+  };
+  Rng graph_rng(seed);
+  std::vector<Case> cases;
+  cases.push_back({"stencil 12x12 / torus 12x12",
+                   graph::stencil_2d(12, 12, 1.0),
+                   topo::make_topology("torus:12x12")});
+  cases.push_back({"random n=144 / torus 12x12",
+                   graph::random_graph(144, 0.05, 1.0, 32.0, graph_rng),
+                   topo::make_topology("torus:12x12")});
+  cases.push_back({"geometric n=128 / mesh 16x8",
+                   graph::random_geometric(128, 0.16, 8.0, graph_rng),
+                   topo::make_topology("mesh:16x8")});
+
+  Table table("hops-per-byte (wall seconds)",
+              {"workload", "TopoCentLB", "TopoLB", "Anneal", "Anneal+warm",
+               "t_topolb", "t_anneal", "t_warm"},
+              3);
+  for (const auto& c : cases) {
+    Rng rng(seed);
+    double hpb_cent = 0, hpb_lb = 0, hpb_sa = 0, hpb_warm = 0;
+    const double t_cent [[maybe_unused]] = bench::timed([&] {
+      hpb_cent = bench::mean_hops_per_byte(*core::make_strategy("topocent"),
+                                           c.g, *c.topo, rng, 1);
+    });
+    const double t_lb = bench::timed([&] {
+      hpb_lb = bench::mean_hops_per_byte(*core::make_strategy("topolb"), c.g,
+                                         *c.topo, rng, 1);
+    });
+    const double t_sa = bench::timed([&] {
+      hpb_sa = bench::mean_hops_per_byte(*core::make_strategy("anneal"), c.g,
+                                         *c.topo, rng, 1);
+    });
+    const double t_warm = bench::timed([&] {
+      hpb_warm = bench::mean_hops_per_byte(
+          *core::make_strategy("anneal-warm"), c.g, *c.topo, rng, 1);
+    });
+    table.add_row({c.name, hpb_cent, hpb_lb, hpb_sa, hpb_warm, t_lb, t_sa,
+                   t_warm});
+  }
+  bench::emit(table, "ablation_physical_opt");
+  std::cout << "\nExpected (paper's related-work claim): annealing matches "
+               "or beats the heuristics on quality —\n"
+               "especially warm-started — at 1-3 orders of magnitude more "
+               "runtime.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared driver for the BlueGene-style end-to-end experiments (Figures
+// 10 & 11): time to complete N iterations of the 2D Jacobi benchmark with
+// 100KB messages, for several machine sizes, under random / TopoCentLB /
+// TopoLB mappings, on a 3D torus or 3D mesh.  The machine is our
+// discrete-event wormhole simulator (BlueGene substitute; see DESIGN.md).
+#pragma once
+
+#include "bench/common.hpp"
+#include "graph/builders.hpp"
+#include "netsim/app.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::bench {
+
+inline void run_bluegene_figure(const std::string& what,
+                                const std::string& csv_name, bool torus,
+                                const std::vector<std::int64_t>& procs,
+                                int iterations, double message_bytes,
+                                double bandwidth, double compute_us,
+                                std::uint64_t seed) {
+  preamble(what, seed);
+  std::cout << "iterations=" << iterations << " msg=" << message_bytes / 1024
+            << "KB bandwidth=" << bandwidth << "MB/s\n";
+
+  Table table("Time (s) for " + std::to_string(iterations) +
+                  " iterations of the 2D Jacobi benchmark",
+              {"p", "machine", "Random", "TopoCentLB", "TopoLB",
+               "rand/topolb"},
+              3);
+  for (auto p64 : procs) {
+    const int p = static_cast<int>(p64);
+    const auto net_dims = topo::balanced_dims(p, 3);
+    const topo::TorusMesh machine = torus ? topo::TorusMesh::torus(net_dims)
+                                          : topo::TorusMesh::mesh(net_dims);
+    const auto mesh_dims = topo::balanced_dims(p, 2);
+    const auto g =
+        graph::stencil_2d(mesh_dims[0], mesh_dims[1], 2.0 * message_bytes);
+    Rng rng(seed);
+    const core::Mapping m_rand = core::make_strategy("random")->map(g, machine, rng);
+    const core::Mapping m_cent = core::make_strategy("topocent")->map(g, machine, rng);
+    const core::Mapping m_lb = core::make_strategy("topolb")->map(g, machine, rng);
+
+    netsim::NetworkParams net;
+    net.bandwidth = bandwidth;
+    net.per_hop_latency_us = 0.1;
+    net.injection_overhead_us = 2.0;
+    netsim::AppParams app;
+    app.iterations = iterations;
+    app.compute_us = compute_us;
+
+    const auto r_r = netsim::run_iterative_app(g, machine, m_rand, app, net);
+    const auto r_c = netsim::run_iterative_app(g, machine, m_cent, app, net);
+    const auto r_l = netsim::run_iterative_app(g, machine, m_lb, app, net);
+    table.add_row({static_cast<std::int64_t>(p), machine.name(),
+                   r_r.completion_us / 1e6, r_c.completion_us / 1e6,
+                   r_l.completion_us / 1e6,
+                   r_r.completion_us / r_l.completion_us});
+  }
+  emit(table, csv_name);
+}
+
+}  // namespace topomap::bench

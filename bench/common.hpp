@@ -1,0 +1,58 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure).  Each harness prints an aligned table with the same
+// rows/series the paper reports and mirrors it to bench_results/<name>.csv.
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace topomap::bench {
+
+/// Wall-clock seconds of a callable.
+template <typename Fn>
+double timed(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Mean hops-per-byte of `strategy` over `repeats` seeded runs (1 repeat
+/// for the deterministic strategies).
+inline double mean_hops_per_byte(const core::MappingStrategy& strategy,
+                                 const graph::TaskGraph& g,
+                                 const topo::Topology& topo, Rng& rng,
+                                 int repeats) {
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r)
+    total += core::hops_per_byte(g, topo, strategy.map(g, topo, rng));
+  return total / static_cast<double>(repeats);
+}
+
+/// Print the table and mirror it to bench_results/<csv_name>.csv.
+inline void emit(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const std::string path = "bench_results/" + csv_name + ".csv";
+  if (table.write_csv(path))
+    std::cout << "(csv: " << path << ")\n";
+  else
+    std::cout << "(warning: could not write " << path << ")\n";
+}
+
+/// Common preamble: print the experiment header and the seed.
+inline void preamble(const std::string& what, std::uint64_t seed) {
+  std::cout << "topomap experiment: " << what << "\n"
+            << "seed: " << seed << "\n";
+}
+
+}  // namespace topomap::bench

@@ -1,0 +1,107 @@
+// Shared driver for the LeanMD-workload experiments (Figures 5 & 6).
+//
+// Pipeline per processor count p (paper §5.2.3): run the instrumented MD
+// exchange on the mini runtime to get a measured load database, partition
+// the ~3.4k-object graph into p groups with the multilevel (METIS-
+// substitute) partitioner, coalesce, then map the quotient graph with each
+// strategy and report average hops-per-byte.  RefineTopoLB is applied on
+// top of TopoLB as in the paper.
+#pragma once
+
+#include "bench/common.hpp"
+#include "graph/quotient.hpp"
+#include "graph/synthetic_md.hpp"
+#include "partition/partition.hpp"
+#include "runtime/apps.hpp"
+#include "runtime/lb_manager.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::bench {
+
+struct LeanMdRow {
+  int p;
+  double virtualization;   ///< objects per processor
+  double avg_degree;       ///< quotient-graph average degree
+  double random;
+  double topocent;
+  double topolb;
+  double topolb_refined;
+};
+
+inline LeanMdRow leanmd_point(const graph::TaskGraph& objects,
+                              const topo::Topology& topo, std::uint64_t seed,
+                              int random_repeats) {
+  const int p = topo.size();
+  Rng rng(seed);
+  const auto partitioner = part::make_partitioner("multilevel");
+  const auto groups_assign = partitioner->partition(objects, p, rng).assignment;
+  const graph::TaskGraph quotient =
+      graph::quotient_graph(objects, groups_assign, p);
+
+  LeanMdRow row{};
+  row.p = p;
+  row.virtualization = static_cast<double>(objects.num_vertices()) /
+                       static_cast<double>(p);
+  row.avg_degree = graph::average_degree(quotient);
+  row.random = mean_hops_per_byte(*core::make_strategy("random"), quotient,
+                                  topo, rng, random_repeats);
+  row.topocent = mean_hops_per_byte(*core::make_strategy("topocent"),
+                                    quotient, topo, rng, 1);
+  row.topolb = mean_hops_per_byte(*core::make_strategy("topolb"), quotient,
+                                  topo, rng, 1);
+  row.topolb_refined = mean_hops_per_byte(
+      *core::make_strategy("topolb+refine"), quotient, topo, rng, 1);
+  return row;
+}
+
+/// Build the measured MD object graph once (instrumented runtime run).
+inline graph::TaskGraph build_leanmd_objects(std::uint64_t seed,
+                                             int iterations) {
+  graph::MdParams params;  // defaults: 8x6x5 cells, ~3.4k objects
+  Rng rng(seed);
+  const graph::TaskGraph pattern = graph::synthetic_md(params, rng);
+  const rts::LBDatabase db = rts::run_graph_exchange(pattern, iterations);
+  return db.to_task_graph("leanmd-measured");
+}
+
+inline void run_leanmd_figure(const std::string& what,
+                              const std::string& csv_name, int dims,
+                              const std::vector<std::int64_t>& procs,
+                              std::uint64_t seed, int random_repeats,
+                              int md_iterations) {
+  preamble(what, seed);
+  const graph::TaskGraph objects = build_leanmd_objects(seed, md_iterations);
+  std::cout << "objects: " << objects.num_vertices()
+            << " (cells+pairs), edges: " << objects.num_edges() << "\n";
+
+  Table table("Average hops per byte, LeanMD-like workload",
+              {"p", "torus", "virt", "avg_deg", "Random", "TopoCentLB",
+               "TopoLB", "TopoLB+Refine", "LB_vs_rand_%", "refine_extra_%"},
+              3);
+  for (auto p64 : procs) {
+    const int p = static_cast<int>(p64);
+    if (p > objects.num_vertices()) {
+      std::cout << "skipping p=" << p << " (more processors than objects)\n";
+      continue;
+    }
+    const auto topo =
+        std::make_shared<topo::TorusMesh>(
+            topo::TorusMesh::torus(topo::balanced_dims(p, dims)));
+    const LeanMdRow row = leanmd_point(objects, *topo, seed, random_repeats);
+    const double lb_vs_rand = 100.0 * (1.0 - row.topolb / row.random);
+    const double refine_extra =
+        100.0 * (1.0 - row.topolb_refined / row.topolb);
+    table.add_row({static_cast<std::int64_t>(row.p), topo->name(),
+                   row.virtualization, row.avg_degree, row.random,
+                   row.topocent, row.topolb, row.topolb_refined, lb_vs_rand,
+                   refine_extra});
+  }
+  emit(table, csv_name);
+  std::cout << "\nPaper shape check: TopoLB ~30-40% below random (less at "
+               "very high virtualization where the\n"
+               "quotient graph is dense), TopoCentLB close behind, "
+               "RefineTopoLB adds ~10% on top of TopoLB.\n";
+}
+
+}  // namespace topomap::bench

@@ -1,0 +1,116 @@
+// §4.4 complexity claims, as google-benchmark microbenchmarks:
+//   * TopoLB second order runs in ~O(p^2) on constant-degree task graphs;
+//   * TopoLB third order costs O(p^3) — visibly steeper scaling;
+//   * TopoCentLB runs in O(p * |E_t|), comparable to second-order TopoLB
+//     but with a smaller constant;
+//   * RefineTopoLB sweeps are O(p^2) per pass;
+//   * the multilevel partitioner handles the MD-scale object graphs fast.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "graph/synthetic_md.hpp"
+#include "partition/partition.hpp"
+#include "support/rng.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace {
+
+using namespace topomap;
+
+void map_stencil(benchmark::State& state, const char* strategy_spec) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_2d(side, side, 1.0);
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side});
+  const auto strategy = core::make_strategy(strategy_spec);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto m = strategy->map(g, torus, rng);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetComplexityN(side * side);
+}
+
+void BM_TopoLB_SecondOrder(benchmark::State& state) {
+  map_stencil(state, "topolb");
+}
+BENCHMARK(BM_TopoLB_SecondOrder)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_TopoLB_FirstOrder(benchmark::State& state) {
+  map_stencil(state, "topolb1");
+}
+BENCHMARK(BM_TopoLB_FirstOrder)->Arg(16)->Arg(32);
+
+void BM_TopoLB_ThirdOrder(benchmark::State& state) {
+  map_stencil(state, "topolb3");
+}
+BENCHMARK(BM_TopoLB_ThirdOrder)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(24)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_TopoCentLB(benchmark::State& state) { map_stencil(state, "topocent"); }
+BENCHMARK(BM_TopoCentLB)->Arg(8)->Arg(16)->Arg(32)->Complexity(
+    benchmark::oNSquared);
+
+void BM_RandomLB(benchmark::State& state) { map_stencil(state, "random"); }
+BENCHMARK(BM_RandomLB)->Arg(32);
+
+void BM_RefineTopoLB_OnePass(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_2d(side, side, 1.0);
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side});
+  Rng rng(2);
+  const core::Mapping random = rng.permutation(side * side);
+  for (auto _ : state) {
+    auto r = core::refine_mapping(g, torus, random, /*max_passes=*/1);
+    benchmark::DoNotOptimize(r.swaps);
+  }
+  state.SetComplexityN(side * side);
+}
+BENCHMARK(BM_RefineTopoLB_OnePass)->Arg(8)->Arg(16)->Arg(24)->Complexity(
+    benchmark::oNSquared);
+
+void BM_MultilevelPartition_Md(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  graph::MdParams params;
+  params.cells_x = 4;
+  params.cells_y = 4;
+  params.cells_z = 4;
+  Rng rng(3);
+  const auto md = graph::synthetic_md(params, rng);
+  const auto partitioner = part::make_partitioner("multilevel");
+  for (auto _ : state) {
+    auto r = partitioner->partition(md, k, rng);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+}
+BENCHMARK(BM_MultilevelPartition_Md)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_HopBytesEvaluation(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_2d(side, side, 1.0);
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side});
+  Rng rng(4);
+  const core::Mapping m = rng.permutation(side * side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hop_bytes(g, torus, m));
+  }
+}
+BENCHMARK(BM_HopBytesEvaluation)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every paper table/figure (CSVs land in
+# bench_results/).  Usage: scripts/run_all.sh [build-dir]
+set -e
+BUILD=${1:-build}
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,79 @@
+#include "core/annealing_lb.hpp"
+
+#include <cmath>
+
+#include "core/baseline_lb.hpp"
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+AnnealingLB::AnnealingLB(AnnealingOptions options)
+    : options_(std::move(options)) {
+  TOPOMAP_REQUIRE(options_.moves_per_task > 0.0, "need positive move budget");
+  TOPOMAP_REQUIRE(options_.cooling > 0.0 && options_.cooling < 1.0,
+                  "cooling factor must be in (0,1)");
+  TOPOMAP_REQUIRE(options_.epochs >= 1, "need at least one epoch");
+  TOPOMAP_REQUIRE(options_.t0_factor > 0.0, "t0_factor must be positive");
+}
+
+std::string AnnealingLB::name() const {
+  return options_.warm_start ? "AnnealingLB[" + options_.warm_start->name() + "]"
+                             : "AnnealingLB";
+}
+
+Mapping AnnealingLB::map(const graph::TaskGraph& g,
+                         const topo::Topology& topo, Rng& rng) const {
+  require_square(g, topo);
+  const int n = g.num_vertices();
+  if (n <= 1) return identity_mapping(n);
+
+  Mapping current = options_.warm_start
+                        ? options_.warm_start->map(g, topo, rng)
+                        : RandomLB().map(g, topo, rng);
+  double energy = hop_bytes(g, topo, current);
+  Mapping best = current;
+  double best_energy = energy;
+
+  // Calibrate T0 from the magnitude of random move deltas.
+  double mean_abs_delta = 0.0;
+  const int probes = std::min(256, n * (n - 1) / 2);
+  for (int i = 0; i < probes; ++i) {
+    const int a = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    int b = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+    if (b >= a) ++b;
+    mean_abs_delta += std::abs(swap_delta(g, topo, current, a, b));
+  }
+  mean_abs_delta /= static_cast<double>(probes);
+  double temperature =
+      options_.t0_factor * std::max(mean_abs_delta, 1e-9);
+
+  const auto moves = static_cast<int>(options_.moves_per_task *
+                                      static_cast<double>(n));
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (int move = 0; move < moves; ++move) {
+      const int a =
+          static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      int b = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+      if (b >= a) ++b;
+      const double delta = swap_delta(g, topo, current, a, b);
+      const bool accept =
+          delta < 0.0 ||
+          rng.uniform_double() < std::exp(-delta / temperature);
+      if (accept) {
+        std::swap(current[static_cast<std::size_t>(a)],
+                  current[static_cast<std::size_t>(b)]);
+        energy += delta;
+        if (energy < best_energy) {
+          best_energy = energy;
+          best = current;
+        }
+      }
+    }
+    temperature *= options_.cooling;
+  }
+  return best;
+}
+
+}  // namespace topomap::core

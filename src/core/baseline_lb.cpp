@@ -1,0 +1,47 @@
+#include "core/baseline_lb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+void MappingStrategy::require_square(const graph::TaskGraph& g,
+                                     const topo::Topology& topo) {
+  TOPOMAP_REQUIRE(g.num_vertices() == topo.size(),
+                  "mapping strategies need |V_t| == |V_p|; partition/coalesce "
+                  "the task graph first");
+}
+
+Mapping RandomLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
+                      Rng& rng) const {
+  require_square(g, topo);
+  return rng.permutation(topo.size());
+}
+
+Mapping GreedyLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
+                      Rng& rng) const {
+  require_square(g, topo);
+  const int n = g.num_vertices();
+
+  // Heaviest-first task order; ties broken by a random shuffle so that the
+  // common all-equal-load case does not degenerate to identity.
+  std::vector<int> order = rng.permutation(n);
+  std::stable_sort(order.begin(), order.end(), [&g](int a, int b) {
+    return g.vertex_weight(a) > g.vertex_weight(b);
+  });
+
+  // With one task per processor the "least loaded" processor is simply the
+  // next empty one; visit processors in random order (GreedyLB makes no
+  // topology promise, and Charm++'s implementation is effectively random
+  // with respect to the network).
+  std::vector<int> procs = rng.permutation(n);
+  Mapping m(static_cast<std::size_t>(n), kUnassigned);
+  for (int i = 0; i < n; ++i)
+    m[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        procs[static_cast<std::size_t>(i)];
+  return m;
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,29 @@
+// Topology-oblivious baseline strategies.
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace topomap::core {
+
+/// Uniform random bijection — the paper's "random placement" baseline.
+class RandomLB final : public MappingStrategy {
+ public:
+  Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
+              Rng& rng) const override;
+  std::string name() const override { return "RandomLB"; }
+};
+
+/// Charm++-style GreedyLB: heaviest task goes to the least-loaded
+/// processor, ignoring the network entirely.  With |V_t| == |V_p| every
+/// processor receives one task and the placement is effectively arbitrary
+/// with respect to topology — the paper uses it as its random-placement
+/// stand-in for the trace-driven experiments.  Ties are shuffled so that
+/// uniform-load inputs do not silently collapse to the identity mapping.
+class GreedyLB final : public MappingStrategy {
+ public:
+  Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
+              Rng& rng) const override;
+  std::string name() const override { return "GreedyLB"; }
+};
+
+}  // namespace topomap::core

@@ -1,0 +1,48 @@
+#include "core/annealing_lb.hpp"
+#include "core/baseline_lb.hpp"
+#include "core/link_refine.hpp"
+#include "core/recursive_map.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "core/strategy.hpp"
+#include "core/topo_cent_lb.hpp"
+#include "core/topo_lb.hpp"
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+namespace {
+
+bool consume_suffix(std::string& spec, std::string_view suffix) {
+  if (spec.size() > suffix.size() &&
+      spec.compare(spec.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    spec.resize(spec.size() - suffix.size());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StrategyPtr make_strategy(const std::string& spec_in) {
+  std::string spec = spec_in;
+  if (consume_suffix(spec, "+linkrefine"))
+    return std::make_shared<LinkRefinedStrategy>(make_strategy(spec));
+  if (consume_suffix(spec, "+refine"))
+    return std::make_shared<RefinedStrategy>(make_strategy(spec));
+  if (spec == "random") return std::make_shared<RandomLB>();
+  if (spec == "greedy") return std::make_shared<GreedyLB>();
+  if (spec == "topocent") return std::make_shared<TopoCentLB>();
+  if (spec == "topolb") return std::make_shared<TopoLB>(EstimationOrder::kSecond);
+  if (spec == "topolb1") return std::make_shared<TopoLB>(EstimationOrder::kFirst);
+  if (spec == "topolb3") return std::make_shared<TopoLB>(EstimationOrder::kThird);
+  if (spec == "recursive") return std::make_shared<RecursiveBisectionLB>();
+  if (spec == "anneal") return std::make_shared<AnnealingLB>();
+  if (spec == "anneal-warm") {
+    AnnealingOptions options;
+    options.warm_start = std::make_shared<TopoLB>();
+    return std::make_shared<AnnealingLB>(options);
+  }
+  throw precondition_error("unknown strategy spec: " + spec_in);
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,38 @@
+#include "core/mapping.hpp"
+
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+bool is_complete(const Mapping& m, const topo::Topology& topo) {
+  for (int p : m)
+    if (p < 0 || p >= topo.size()) return false;
+  return true;
+}
+
+bool is_one_to_one(const Mapping& m, const topo::Topology& topo) {
+  if (!is_complete(m, topo)) return false;
+  std::vector<char> used(static_cast<std::size_t>(topo.size()), 0);
+  for (int p : m) {
+    if (used[static_cast<std::size_t>(p)]) return false;
+    used[static_cast<std::size_t>(p)] = 1;
+  }
+  return true;
+}
+
+Mapping identity_mapping(int n) {
+  TOPOMAP_REQUIRE(n >= 0, "negative task count");
+  Mapping m(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) m[static_cast<std::size_t>(i)] = i;
+  return m;
+}
+
+std::vector<int> inverse_mapping(const Mapping& m, const topo::Topology& topo) {
+  TOPOMAP_REQUIRE(is_one_to_one(m, topo), "mapping is not one-to-one");
+  std::vector<int> inv(static_cast<std::size_t>(topo.size()), kUnassigned);
+  for (std::size_t t = 0; t < m.size(); ++t)
+    inv[static_cast<std::size_t>(m[t])] = static_cast<int>(t);
+  return inv;
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,36 @@
+// Task-mapping representation and validation.
+//
+// A mapping P : V_t -> V_p assigns each task-graph vertex a processor.
+// The paper's mapping phase runs after partitioning, so strategies require
+// |V_t| == |V_p| and produce bijections; the metric functions accept any
+// many-to-one mapping (co-located tasks simply contribute zero hop-bytes).
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "topo/topology.hpp"
+
+namespace topomap::core {
+
+/// mapping[task] == processor index.  kUnassigned marks partial mappings.
+using Mapping = std::vector<int>;
+
+inline constexpr int kUnassigned = -1;
+
+/// Every task assigned to a valid processor of `topo`.
+bool is_complete(const Mapping& m, const topo::Topology& topo);
+
+/// Complete and injective (a bijection when |V_t| == |V_p|).
+bool is_one_to_one(const Mapping& m, const topo::Topology& topo);
+
+/// The identity mapping for n tasks (task i on processor i).  Useful as the
+/// paper's "optimal mapping" when the task graph is an isomorphic subgraph
+/// of the topology with matching vertex numbering (e.g. stencil_3d(8,8,8)
+/// onto TorusMesh::mesh({8,8,8})).
+Mapping identity_mapping(int n);
+
+/// Inverse of a one-to-one mapping: proc -> task (kUnassigned for empty).
+std::vector<int> inverse_mapping(const Mapping& m, const topo::Topology& topo);
+
+}  // namespace topomap::core

@@ -1,0 +1,79 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+double hop_bytes(const graph::TaskGraph& g, const topo::Topology& topo,
+                 const Mapping& m) {
+  TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
+                  "mapping size does not match task graph");
+  TOPOMAP_REQUIRE(is_complete(m, topo), "mapping is incomplete");
+  double total = 0.0;
+  for (const graph::UndirectedEdge& e : g.edges())
+    total += e.bytes * topo.distance(m[static_cast<std::size_t>(e.a)],
+                                     m[static_cast<std::size_t>(e.b)]);
+  return total;
+}
+
+double hop_bytes_of_task(const graph::TaskGraph& g, const topo::Topology& topo,
+                         const Mapping& m, int task) {
+  TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
+                  "mapping size does not match task graph");
+  TOPOMAP_REQUIRE(is_complete(m, topo), "mapping is incomplete");
+  double total = 0.0;
+  const int pt = m[static_cast<std::size_t>(task)];
+  for (const graph::Edge& e : g.edges_of(task))
+    total += e.bytes * topo.distance(pt, m[static_cast<std::size_t>(e.neighbor)]);
+  return total;
+}
+
+double hops_per_byte(const graph::TaskGraph& g, const topo::Topology& topo,
+                     const Mapping& m) {
+  const double bytes = g.total_comm_bytes();
+  return bytes > 0.0 ? hop_bytes(g, topo, m) / bytes : 0.0;
+}
+
+double expected_random_hops(const topo::Topology& topo) {
+  return topo.mean_pairwise_distance();
+}
+
+LinkLoadStats link_loads(const graph::TaskGraph& g, const topo::Topology& topo,
+                         const Mapping& m) {
+  TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
+                  "mapping size does not match task graph");
+  TOPOMAP_REQUIRE(is_complete(m, topo), "mapping is incomplete");
+  std::unordered_map<std::uint64_t, double> load;
+  const auto p = static_cast<std::uint64_t>(topo.size());
+  auto add_route = [&](int from, int to, double bytes) {
+    const std::vector<int> path = topo.route(from, to);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto key = static_cast<std::uint64_t>(path[i]) * p +
+                       static_cast<std::uint64_t>(path[i + 1]);
+      load[key] += bytes;
+    }
+  };
+  for (const graph::UndirectedEdge& e : g.edges()) {
+    const int pa = m[static_cast<std::size_t>(e.a)];
+    const int pb = m[static_cast<std::size_t>(e.b)];
+    if (pa == pb) continue;
+    add_route(pa, pb, e.bytes / 2.0);
+    add_route(pb, pa, e.bytes / 2.0);
+  }
+  LinkLoadStats stats;
+  stats.links_total = topo.directed_link_count();
+  for (const auto& [key, bytes] : load) {
+    stats.total_bytes += bytes;
+    stats.max_bytes = std::max(stats.max_bytes, bytes);
+    ++stats.links_used;
+  }
+  stats.mean_bytes = stats.links_total > 0
+                         ? stats.total_bytes / stats.links_total
+                         : 0.0;
+  return stats;
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,180 @@
+#include "core/recursive_map.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/quotient.hpp"
+#include "partition/multilevel.hpp"
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+namespace {
+
+using graph::TaskGraph;
+
+/// Balanced 2-way split with an *exact* left-side count: run the
+/// multilevel bisection, then repair the count by moving the cheapest
+/// (least cut-increasing) vertices across.
+std::vector<int> bisect_exact(const TaskGraph& g, int left_count, Rng& rng) {
+  const int n = g.num_vertices();
+  TOPOMAP_ASSERT(left_count >= 0 && left_count <= n, "bad split size");
+  part::MultilevelPartitioner bisector;
+  std::vector<int> side =
+      (left_count == 0 || left_count == n)
+          ? std::vector<int>(static_cast<std::size_t>(n),
+                             left_count == n ? 0 : 1)
+          : bisector.bisect(g, static_cast<double>(left_count) /
+                                   static_cast<double>(n),
+                            rng);
+
+  auto count_left = [&side] {
+    int c = 0;
+    for (int s : side) c += (s == 0);
+    return c;
+  };
+  // Move gain of flipping v: cut-reduction (positive = cut shrinks).
+  auto flip_gain = [&](int v) {
+    double gain = 0.0;
+    for (const graph::Edge& e : g.edges_of(v))
+      gain += (side[static_cast<std::size_t>(e.neighbor)] !=
+               side[static_cast<std::size_t>(v)])
+                  ? e.bytes
+                  : -e.bytes;
+    return gain;
+  };
+  int have = count_left();
+  while (have != left_count) {
+    const int donor = have > left_count ? 0 : 1;
+    int best = -1;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n; ++v) {
+      if (side[static_cast<std::size_t>(v)] != donor) continue;
+      const double gain = flip_gain(v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    TOPOMAP_ASSERT(best >= 0, "no vertex available to rebalance");
+    side[static_cast<std::size_t>(best)] = 1 - donor;
+    have += donor == 0 ? -1 : 1;
+  }
+  return side;
+}
+
+/// Processor-adjacency graph of a processor subset (unit weights, unit
+/// link weights), for topology-side bisection.
+TaskGraph proc_graph(const topo::Topology& topo,
+                     const std::vector<int>& procs) {
+  std::vector<int> global_to_local(static_cast<std::size_t>(topo.size()), -1);
+  TaskGraph::Builder b("procs");
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    global_to_local[static_cast<std::size_t>(procs[i])] =
+        static_cast<int>(i);
+    b.add_vertex(1.0);
+  }
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    for (int nbr : topo.neighbors(procs[i])) {
+      const int lj = global_to_local[static_cast<std::size_t>(nbr)];
+      if (lj > static_cast<int>(i)) b.add_edge(static_cast<int>(i), lj, 1.0);
+    }
+  }
+  return std::move(b).build();
+}
+
+struct Solver {
+  const TaskGraph& g;            // original task graph
+  const topo::Topology& topo;
+  Rng& rng;
+  Mapping mapping;               // filled in as recursion bottoms out
+
+  /// Estimated cost of placing task half `tasks` on processor half
+  /// `procs`, counting only edges to already-assigned tasks (first-order,
+  /// sampled over a few representative processors of the half).
+  double pairing_cost(const std::vector<int>& tasks,
+                      const std::vector<int>& procs) const {
+    double cost = 0.0;
+    const std::size_t samples = std::min<std::size_t>(procs.size(), 4);
+    for (int t : tasks) {
+      for (const graph::Edge& e : g.edges_of(t)) {
+        const int pj = mapping[static_cast<std::size_t>(e.neighbor)];
+        if (pj == kUnassigned) continue;
+        double dist = 0.0;
+        for (std::size_t s = 0; s < samples; ++s)
+          dist += topo.distance(procs[s * (procs.size() - 1) /
+                                      std::max<std::size_t>(1, samples - 1)],
+                                pj);
+        cost += e.bytes * dist / static_cast<double>(samples);
+      }
+    }
+    return cost;
+  }
+
+  void recurse(const std::vector<int>& tasks, const std::vector<int>& procs) {
+    const int n = static_cast<int>(tasks.size());
+    TOPOMAP_ASSERT(n == static_cast<int>(procs.size()),
+                   "task/processor subset size mismatch");
+    if (n == 0) return;
+    if (n == 1) {
+      mapping[static_cast<std::size_t>(tasks[0])] = procs[0];
+      return;
+    }
+    const int n_left = n / 2;
+
+    // Bisect tasks by communication (unit weights: one task per processor)
+    // and processors by links.
+    const graph::Subgraph tsub =
+        graph::induced_subgraph(g, tasks, /*unit_weights=*/true);
+    const std::vector<int> tside = bisect_exact(tsub.graph, n_left, rng);
+    const TaskGraph pgraph = proc_graph(topo, procs);
+    const std::vector<int> pside = bisect_exact(pgraph, n_left, rng);
+
+    std::vector<int> t_half[2], p_half[2];
+    for (int i = 0; i < n; ++i) {
+      t_half[tside[static_cast<std::size_t>(i)]].push_back(
+          tasks[static_cast<std::size_t>(i)]);
+      p_half[pside[static_cast<std::size_t>(i)]].push_back(
+          procs[static_cast<std::size_t>(i)]);
+    }
+    TOPOMAP_ASSERT(t_half[0].size() == p_half[0].size(),
+                   "bisection halves disagree");
+
+    // Pick the cheaper of the two half-pairings w.r.t. already-placed
+    // neighbours outside this subproblem.  Crossing is only well-formed
+    // when the halves have equal sizes (even n).
+    bool cross = false;
+    if (t_half[0].size() == t_half[1].size()) {
+      const double straight = pairing_cost(t_half[0], p_half[0]) +
+                              pairing_cost(t_half[1], p_half[1]);
+      const double crossed = pairing_cost(t_half[0], p_half[1]) +
+                             pairing_cost(t_half[1], p_half[0]);
+      cross = crossed < straight;
+    }
+    recurse(t_half[0], cross ? p_half[1] : p_half[0]);
+    recurse(t_half[1], cross ? p_half[0] : p_half[1]);
+  }
+};
+
+}  // namespace
+
+Mapping RecursiveBisectionLB::map(const graph::TaskGraph& g,
+                                  const topo::Topology& topo,
+                                  Rng& rng) const {
+  require_square(g, topo);
+  const int n = g.num_vertices();
+  Solver solver{g, topo, rng,
+                Mapping(static_cast<std::size_t>(n), kUnassigned)};
+  std::vector<int> all_tasks(static_cast<std::size_t>(n));
+  std::vector<int> all_procs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    all_tasks[static_cast<std::size_t>(i)] = i;
+    all_procs[static_cast<std::size_t>(i)] = i;
+  }
+  solver.recurse(all_tasks, all_procs);
+  TOPOMAP_ASSERT(is_one_to_one(solver.mapping, topo),
+                 "recursive bisection produced an invalid mapping");
+  return solver.mapping;
+}
+
+}  // namespace topomap::core

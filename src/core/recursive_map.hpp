@@ -1,0 +1,29 @@
+// Recursive dual-bisection mapping (extension; the paper's future-work
+// direction of hierarchical/distributed mapping, and the family of Ercal
+// et al.'s Allocation-by-Recursive-Mincut and Berman & Snyder's coalesce-
+// then-map).
+//
+// Simultaneously bisect the task graph (minimizing cut bytes) and the
+// processor set (minimizing cut links), assign task halves to processor
+// halves, and recurse until singleton sets.  Communication locality is
+// enforced top-down: the heaviest cut is paid once at the top level, so
+// most bytes stay inside small processor neighbourhoods — without ever
+// holding a p x p estimation table, which makes it the scalable
+// alternative to TopoLB (O(n log n · bisect) vs O(p^2) memory/time).
+//
+// Which half of the tasks goes to which half of the processors is decided
+// by the cheaper of the two pairings under a sampled hop-bytes estimate.
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace topomap::core {
+
+class RecursiveBisectionLB final : public MappingStrategy {
+ public:
+  Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
+              Rng& rng) const override;
+  std::string name() const override { return "RecursiveBisectionLB"; }
+};
+
+}  // namespace topomap::core

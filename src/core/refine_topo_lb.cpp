@@ -1,0 +1,80 @@
+#include "core/refine_topo_lb.hpp"
+
+#include "core/metrics.hpp"
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+double swap_delta(const graph::TaskGraph& g, const topo::Topology& topo,
+                  const Mapping& m, int a, int b) {
+  const int pa = m[static_cast<std::size_t>(a)];
+  const int pb = m[static_cast<std::size_t>(b)];
+  if (pa == pb) return 0.0;
+  double delta = 0.0;
+  for (const graph::Edge& e : g.edges_of(a)) {
+    if (e.neighbor == b) continue;  // the (a,b) edge length is unchanged
+    const int pj = m[static_cast<std::size_t>(e.neighbor)];
+    delta += e.bytes * static_cast<double>(topo.distance(pb, pj) -
+                                           topo.distance(pa, pj));
+  }
+  for (const graph::Edge& e : g.edges_of(b)) {
+    if (e.neighbor == a) continue;
+    const int pj = m[static_cast<std::size_t>(e.neighbor)];
+    delta += e.bytes * static_cast<double>(topo.distance(pa, pj) -
+                                           topo.distance(pb, pj));
+  }
+  return delta;
+}
+
+RefineResult refine_mapping(const graph::TaskGraph& g,
+                            const topo::Topology& topo, const Mapping& m,
+                            int max_passes) {
+  TOPOMAP_REQUIRE(max_passes >= 1, "need at least one sweep");
+  TOPOMAP_REQUIRE(is_one_to_one(m, topo), "refiner needs a one-to-one mapping");
+  TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
+                  "mapping size mismatch");
+
+  RefineResult result;
+  result.mapping = m;
+  result.hop_bytes_before = hop_bytes(g, topo, m);
+  const int n = g.num_vertices();
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++result.passes;
+    bool improved = false;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        const double delta = swap_delta(g, topo, result.mapping, a, b);
+        if (delta < -1e-12) {
+          std::swap(result.mapping[static_cast<std::size_t>(a)],
+                    result.mapping[static_cast<std::size_t>(b)]);
+          ++result.swaps;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  result.hop_bytes_after = hop_bytes(g, topo, result.mapping);
+  TOPOMAP_ASSERT(result.hop_bytes_after <= result.hop_bytes_before + 1e-6,
+                 "refinement must never worsen hop-bytes");
+  return result;
+}
+
+RefinedStrategy::RefinedStrategy(StrategyPtr base, int max_passes)
+    : base_(std::move(base)), max_passes_(max_passes) {
+  TOPOMAP_REQUIRE(base_ != nullptr, "base strategy is null");
+  TOPOMAP_REQUIRE(max_passes_ >= 1, "need at least one sweep");
+}
+
+Mapping RefinedStrategy::map(const graph::TaskGraph& g,
+                             const topo::Topology& topo, Rng& rng) const {
+  const Mapping base = base_->map(g, topo, rng);
+  return refine_mapping(g, topo, base, max_passes_).mapping;
+}
+
+std::string RefinedStrategy::name() const {
+  return base_->name() + "+RefineTopoLB";
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,51 @@
+// Mapping-strategy interface, mirroring the Charm++ load-balancing strategy
+// plug-in point the paper implements TopoLB/TopoCentLB behind.
+//
+// Strategies take the (already partitioned/coalesced) task graph with
+// |V_t| == |V_p| and produce a bijective task -> processor mapping.  All
+// randomness flows through the caller-provided Rng.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mapping.hpp"
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace topomap::core {
+
+class MappingStrategy {
+ public:
+  virtual ~MappingStrategy() = default;
+
+  /// Produce a complete one-to-one mapping.  Requires
+  /// g.num_vertices() == topo.size() (throws precondition_error otherwise).
+  virtual Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
+                      Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  static void require_square(const graph::TaskGraph& g,
+                             const topo::Topology& topo);
+};
+
+using StrategyPtr = std::shared_ptr<const MappingStrategy>;
+
+/// Construct a strategy by name:
+///   "random"             uniform random bijection
+///   "greedy"             compute-load greedy (topology-oblivious, GreedyLB)
+///   "topocent"           TopoCentLB
+///   "topolb"             TopoLB, second-order estimation (paper default)
+///   "topolb1"            TopoLB, first-order estimation
+///   "topolb3"            TopoLB, third-order estimation
+///   "recursive"          recursive dual-bisection mapper (extension)
+///   "anneal"             simulated annealing from a random start
+///   "anneal-warm"        simulated annealing warm-started from TopoLB
+///   "<base>+refine"      any of the above followed by RefineTopoLB
+///   "<base>+linkrefine"  any of the above followed by link-load refinement
+StrategyPtr make_strategy(const std::string& spec);
+
+}  // namespace topomap::core

@@ -1,0 +1,81 @@
+#include "core/topo_cent_lb.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
+                        Rng& rng) const {
+  (void)rng;  // fully deterministic given the tie-breaking rules below
+  require_square(g, topo);
+  const int n = g.num_vertices();
+  Mapping m(static_cast<std::size_t>(n), kUnassigned);
+  if (n == 0) return m;
+
+  std::vector<char> task_placed(static_cast<std::size_t>(n), 0);
+  std::vector<char> proc_used(static_cast<std::size_t>(n), 0);
+  // key[t]: total bytes t exchanges with already-placed tasks.
+  std::vector<double> key(static_cast<std::size_t>(n), 0.0);
+
+  for (int cycle = 0; cycle < n; ++cycle) {
+    // --- task selection ---
+    int best_task = -1;
+    if (cycle == 0) {
+      // Most communicating task overall; ties -> lowest id.
+      double best = -1.0;
+      for (int t = 0; t < n; ++t) {
+        if (g.comm_bytes(t) > best) {
+          best = g.comm_bytes(t);
+          best_task = t;
+        }
+      }
+    } else {
+      // Maximum communication with the placed set; ties -> larger total
+      // communication, then lowest id.  Isolated/unconnected tasks (key 0)
+      // are picked last, which is exactly what we want.
+      double best = -1.0;
+      for (int t = 0; t < n; ++t) {
+        if (task_placed[static_cast<std::size_t>(t)]) continue;
+        const double k = key[static_cast<std::size_t>(t)];
+        if (k > best ||
+            (k == best && best_task >= 0 &&
+             g.comm_bytes(t) > g.comm_bytes(best_task))) {
+          best = k;
+          best_task = t;
+        }
+      }
+    }
+    TOPOMAP_ASSERT(best_task >= 0, "no task selected");
+
+    // --- processor selection: minimise first-order hop-byte cost ---
+    int best_proc = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int q = 0; q < n; ++q) {
+      if (proc_used[static_cast<std::size_t>(q)]) continue;
+      double cost = 0.0;
+      for (const graph::Edge& e : g.edges_of(best_task)) {
+        if (!task_placed[static_cast<std::size_t>(e.neighbor)]) continue;
+        cost += e.bytes *
+                topo.distance(q, m[static_cast<std::size_t>(e.neighbor)]);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_proc = q;
+      }
+    }
+    TOPOMAP_ASSERT(best_proc >= 0, "no free processor");
+
+    // --- commit and update keys ---
+    m[static_cast<std::size_t>(best_task)] = best_proc;
+    task_placed[static_cast<std::size_t>(best_task)] = 1;
+    proc_used[static_cast<std::size_t>(best_proc)] = 1;
+    for (const graph::Edge& e : g.edges_of(best_task))
+      if (!task_placed[static_cast<std::size_t>(e.neighbor)])
+        key[static_cast<std::size_t>(e.neighbor)] += e.bytes;
+  }
+  return m;
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,215 @@
+#include "core/topo_lb.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace topomap::core {
+
+namespace {
+
+/// All mutable algorithm state, kept in one place so the update steps after
+/// each placement read like the paper's description.
+struct TopoLBState {
+  TopoLBState(const graph::TaskGraph& graph_in, const topo::Topology& topo_in,
+              EstimationOrder order_in)
+      : g(graph_in), topo(topo_in), order(order_in), n(g.num_vertices()) {
+    const auto un = static_cast<std::size_t>(n);
+    assigned_cost.assign(un * un, 0.0);
+    unplaced_bytes.resize(un);
+    mean_dist.resize(un);
+    for (int t = 0; t < n; ++t)
+      unplaced_bytes[static_cast<std::size_t>(t)] = g.comm_bytes(t);
+    for (int q = 0; q < n; ++q)
+      mean_dist[static_cast<std::size_t>(q)] = topo.mean_distance_from(q);
+    if (order == EstimationOrder::kThird) {
+      sum_dist_free.resize(un);
+      for (int q = 0; q < n; ++q)
+        sum_dist_free[static_cast<std::size_t>(q)] =
+            mean_dist[static_cast<std::size_t>(q)] * static_cast<double>(n);
+    }
+    task_placed.assign(un, 0);
+    proc_used.assign(un, 0);
+    free_procs.reserve(un);
+    for (int q = 0; q < n; ++q) free_procs.push_back(q);
+    f_sum.assign(un, 0.0);
+    f_min.assign(un, 0.0);
+    f_argmin.assign(un, -1);
+    mapping.assign(un, kUnassigned);
+    for (int t = 0; t < n; ++t) rescan_row(t);
+  }
+
+  /// f_est(t, q, P) for a free processor q under the configured order.
+  double f_est(int t, int q) const {
+    const auto row = static_cast<std::size_t>(t) * static_cast<std::size_t>(n);
+    const double assigned = assigned_cost[row + static_cast<std::size_t>(q)];
+    switch (order) {
+      case EstimationOrder::kFirst:
+        return assigned;
+      case EstimationOrder::kSecond:
+        return assigned + unplaced_bytes[static_cast<std::size_t>(t)] *
+                              mean_dist[static_cast<std::size_t>(q)];
+      case EstimationOrder::kThird:
+        return assigned + unplaced_bytes[static_cast<std::size_t>(t)] *
+                              sum_dist_free[static_cast<std::size_t>(q)] /
+                              static_cast<double>(free_procs.size());
+    }
+    TOPOMAP_ASSERT(false, "unreachable estimation order");
+  }
+
+  /// Recompute F_sum / F_min / F_argmin of task t over the free processors.
+  /// Scanning in increasing q keeps processor tie-breaking at lowest id.
+  void rescan_row(int t) {
+    double sum = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    int arg = -1;
+    for (int q : free_procs) {
+      const double f = f_est(t, q);
+      sum += f;
+      if (f < mn) {
+        mn = f;
+        arg = q;
+      }
+    }
+    f_sum[static_cast<std::size_t>(t)] = sum;
+    f_min[static_cast<std::size_t>(t)] = mn;
+    f_argmin[static_cast<std::size_t>(t)] = arg;
+  }
+
+  /// Pick the unplaced task with maximum gain = F_avg - F_min.
+  /// Ties: larger total communication, then lower id.
+  int select_task() const {
+    const double nfree = static_cast<double>(free_procs.size());
+    int best = -1;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (int t = 0; t < n; ++t) {
+      if (task_placed[static_cast<std::size_t>(t)]) continue;
+      const double gain =
+          f_sum[static_cast<std::size_t>(t)] / nfree -
+          f_min[static_cast<std::size_t>(t)];
+      if (gain > best_gain ||
+          (gain == best_gain && best >= 0 &&
+           g.comm_bytes(t) > g.comm_bytes(best))) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    return best;
+  }
+
+  /// Commit task -> proc and update every cached quantity.
+  void place(int task, int proc) {
+    mapping[static_cast<std::size_t>(task)] = proc;
+    task_placed[static_cast<std::size_t>(task)] = 1;
+
+    const bool incremental = order != EstimationOrder::kThird;
+
+    // 1. Retire `proc` from the incremental row statistics using the *old*
+    //    f values (non-neighbour rows are otherwise unchanged).
+    if (incremental) {
+      for (int t = 0; t < n; ++t) {
+        if (task_placed[static_cast<std::size_t>(t)]) continue;
+        f_sum[static_cast<std::size_t>(t)] -= f_est(t, proc);
+        if (f_argmin[static_cast<std::size_t>(t)] == proc)
+          f_argmin[static_cast<std::size_t>(t)] = -2;  // needs rescan
+      }
+    }
+
+    // 2. Remove the processor from the free set.
+    proc_used[static_cast<std::size_t>(proc)] = 1;
+    for (std::size_t i = 0; i < free_procs.size(); ++i) {
+      if (free_procs[i] == proc) {
+        free_procs.erase(free_procs.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+
+    // 3. Third order: the free-set mean distances all shift.
+    if (order == EstimationOrder::kThird) {
+      for (int q : free_procs)
+        sum_dist_free[static_cast<std::size_t>(q)] -=
+            static_cast<double>(topo.distance(q, proc));
+    }
+
+    if (free_procs.empty()) return;
+
+    // 4. Neighbours of the placed task: their unplaced->placed split moved,
+    //    so their whole row changes — fold the now-exact distance term into
+    //    assigned_cost and rescan (paper's O(p * delta(t_k)) step).
+    for (const graph::Edge& e : g.edges_of(task)) {
+      const int tj = e.neighbor;
+      if (task_placed[static_cast<std::size_t>(tj)]) continue;
+      const auto row =
+          static_cast<std::size_t>(tj) * static_cast<std::size_t>(n);
+      for (int q : free_procs)
+        assigned_cost[row + static_cast<std::size_t>(q)] +=
+            e.bytes * static_cast<double>(topo.distance(q, proc));
+      unplaced_bytes[static_cast<std::size_t>(tj)] -= e.bytes;
+      if (incremental) rescan_row(tj);
+    }
+
+    // 5. Rows whose minimum lived on the consumed processor.
+    if (incremental) {
+      for (int t = 0; t < n; ++t)
+        if (!task_placed[static_cast<std::size_t>(t)] &&
+            f_argmin[static_cast<std::size_t>(t)] == -2)
+          rescan_row(t);
+    }
+  }
+
+  const graph::TaskGraph& g;
+  const topo::Topology& topo;
+  const EstimationOrder order;
+  const int n;
+
+  std::vector<double> assigned_cost;   // A(t, q), row-major n x n
+  std::vector<double> unplaced_bytes;  // U(t)
+  std::vector<double> mean_dist;       // meandist_Vp(q)
+  std::vector<double> sum_dist_free;   // 3rd order: sum_{free pj} d(q, pj)
+  std::vector<char> task_placed;
+  std::vector<char> proc_used;
+  std::vector<int> free_procs;  // ascending order is maintained
+  std::vector<double> f_sum;
+  std::vector<double> f_min;
+  std::vector<int> f_argmin;
+  Mapping mapping;
+};
+
+}  // namespace
+
+Mapping TopoLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
+                    Rng& rng) const {
+  (void)rng;  // deterministic; see tie-breaking note in the header
+  require_square(g, topo);
+  const int n = g.num_vertices();
+  if (n == 0) return {};
+
+  TopoLBState st(g, topo, order_);
+  for (int cycle = 0; cycle < n; ++cycle) {
+    if (order_ == EstimationOrder::kThird) {
+      // Free-set averages moved last cycle; refresh every row (O(p^2)).
+      for (int t = 0; t < n; ++t)
+        if (!st.task_placed[static_cast<std::size_t>(t)]) st.rescan_row(t);
+    }
+    const int task = st.select_task();
+    TOPOMAP_ASSERT(task >= 0, "no task selected");
+    const int proc = st.f_argmin[static_cast<std::size_t>(task)];
+    TOPOMAP_ASSERT(proc >= 0, "no free processor for selected task");
+    st.place(task, proc);
+  }
+  return st.mapping;
+}
+
+std::string TopoLB::name() const {
+  switch (order_) {
+    case EstimationOrder::kFirst:
+      return "TopoLB(first-order)";
+    case EstimationOrder::kSecond:
+      return "TopoLB";
+    case EstimationOrder::kThird:
+      return "TopoLB(third-order)";
+  }
+  return "TopoLB(?)";
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,186 @@
+#include "graph/builders.hpp"
+
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::graph {
+
+TaskGraph stencil_2d(int nx, int ny, double bytes, bool periodic,
+                     double compute_load) {
+  TOPOMAP_REQUIRE(nx >= 1 && ny >= 1, "stencil extents must be positive");
+  std::ostringstream label;
+  label << "stencil2d(" << nx << 'x' << ny << (periodic ? ",periodic" : "")
+        << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(nx * ny, compute_load);
+  auto id = [nx](int x, int y) { return x + nx * y; };
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      if (x + 1 < nx)
+        b.add_edge(id(x, y), id(x + 1, y), bytes);
+      else if (periodic && nx > 2)
+        b.add_edge(id(x, y), id(0, y), bytes);
+      if (y + 1 < ny)
+        b.add_edge(id(x, y), id(x, y + 1), bytes);
+      else if (periodic && ny > 2)
+        b.add_edge(id(x, y), id(x, 0), bytes);
+    }
+  }
+  return std::move(b).build();
+}
+
+TaskGraph stencil_3d(int nx, int ny, int nz, double bytes, bool periodic,
+                     double compute_load) {
+  TOPOMAP_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1,
+                  "stencil extents must be positive");
+  std::ostringstream label;
+  label << "stencil3d(" << nx << 'x' << ny << 'x' << nz
+        << (periodic ? ",periodic" : "") << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(nx * ny * nz, compute_load);
+  auto id = [nx, ny](int x, int y, int z) { return x + nx * (y + ny * z); };
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (x + 1 < nx)
+          b.add_edge(id(x, y, z), id(x + 1, y, z), bytes);
+        else if (periodic && nx > 2)
+          b.add_edge(id(x, y, z), id(0, y, z), bytes);
+        if (y + 1 < ny)
+          b.add_edge(id(x, y, z), id(x, y + 1, z), bytes);
+        else if (periodic && ny > 2)
+          b.add_edge(id(x, y, z), id(x, 0, z), bytes);
+        if (z + 1 < nz)
+          b.add_edge(id(x, y, z), id(x, y, z + 1), bytes);
+        else if (periodic && nz > 2)
+          b.add_edge(id(x, y, z), id(x, y, 0), bytes);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+TaskGraph ring(int n, double bytes, double compute_load) {
+  TOPOMAP_REQUIRE(n >= 2, "ring needs at least two tasks");
+  std::ostringstream label;
+  label << "ring(" << n << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(n, compute_load);
+  for (int i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1, bytes);
+  if (n > 2) b.add_edge(n - 1, 0, bytes);
+  return std::move(b).build();
+}
+
+TaskGraph complete(int n, double bytes, double compute_load) {
+  TOPOMAP_REQUIRE(n >= 2, "complete graph needs at least two tasks");
+  std::ostringstream label;
+  label << "complete(" << n << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(n, compute_load);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) b.add_edge(i, j, bytes);
+  return std::move(b).build();
+}
+
+TaskGraph transpose(int n, double bytes, double compute_load) {
+  TOPOMAP_REQUIRE(n >= 2, "transpose needs at least a 2x2 grid");
+  std::ostringstream label;
+  label << "transpose(" << n << 'x' << n << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(n * n, compute_load);
+  for (int r = 0; r < n; ++r)
+    for (int c = r + 1; c < n; ++c)
+      b.add_edge(c + n * r, r + n * c, bytes);
+  return std::move(b).build();
+}
+
+TaskGraph butterfly(int stages, double bytes, double compute_load) {
+  TOPOMAP_REQUIRE(stages >= 1 && stages <= 20, "stages out of range");
+  const int n = 1 << stages;
+  std::ostringstream label;
+  label << "butterfly(" << stages << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(n, compute_load);
+  for (int s = 0; s < stages; ++s)
+    for (int i = 0; i < n; ++i)
+      if (i < (i ^ (1 << s))) b.add_edge(i, i ^ (1 << s), bytes);
+  return std::move(b).build();
+}
+
+bool is_connected(const TaskGraph& g) {
+  const int n = g.num_vertices();
+  if (n <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::deque<int> frontier{0};
+  seen[0] = 1;
+  int count = 1;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    for (const Edge& e : g.edges_of(u)) {
+      if (seen[static_cast<std::size_t>(e.neighbor)]) continue;
+      seen[static_cast<std::size_t>(e.neighbor)] = 1;
+      ++count;
+      frontier.push_back(e.neighbor);
+    }
+  }
+  return count == n;
+}
+
+TaskGraph random_graph(int n, double p_edge, double min_bytes,
+                       double max_bytes, Rng& rng, bool require_connected) {
+  TOPOMAP_REQUIRE(n >= 1, "need at least one task");
+  TOPOMAP_REQUIRE(p_edge >= 0.0 && p_edge <= 1.0, "edge probability in [0,1]");
+  TOPOMAP_REQUIRE(min_bytes > 0.0 && min_bytes <= max_bytes,
+                  "bad byte range");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::ostringstream label;
+    label << "er(" << n << ",p=" << p_edge << ')';
+    TaskGraph::Builder b(label.str());
+    b.add_vertices(n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng.bernoulli(p_edge))
+          b.add_edge(i, j, rng.uniform_double(min_bytes, max_bytes));
+    TaskGraph g = std::move(b).build();
+    if (!require_connected || is_connected(g)) return g;
+  }
+  throw precondition_error(
+      "random_graph: could not draw a connected graph in 64 attempts; "
+      "raise p_edge");
+}
+
+TaskGraph random_geometric(int n, double radius, double base_bytes, Rng& rng) {
+  TOPOMAP_REQUIRE(n >= 1, "need at least one task");
+  TOPOMAP_REQUIRE(radius > 0.0, "radius must be positive");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    std::vector<double> ys(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      xs[static_cast<std::size_t>(i)] = rng.uniform_double();
+      ys[static_cast<std::size_t>(i)] = rng.uniform_double();
+    }
+    std::ostringstream label;
+    label << "rgg(" << n << ",r=" << radius << ')';
+    TaskGraph::Builder b(label.str());
+    b.add_vertices(n);
+    const double r2 = radius * radius;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dx = xs[i] - xs[j];
+        const double dy = ys[i] - ys[j];
+        if (dx * dx + dy * dy <= r2) b.add_edge(i, j, base_bytes);
+      }
+    }
+    TaskGraph g = std::move(b).build();
+    if (is_connected(g)) return g;
+  }
+  throw precondition_error(
+      "random_geometric: could not draw a connected graph in 64 attempts; "
+      "raise radius");
+}
+
+}  // namespace topomap::graph

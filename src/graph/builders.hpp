@@ -1,0 +1,56 @@
+// Task-graph generators for the paper's benchmark patterns plus generic
+// random families used in property tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+
+namespace topomap::graph {
+
+/// 2D Jacobi / 4-point stencil pattern on an nx-by-ny logical grid: each
+/// task exchanges `bytes` with each of its (up to) four neighbours per
+/// iteration.  `periodic` adds wraparound edges.  Vertex ids are row-major
+/// with x fastest (id = x + nx*y), matching TorusMesh::index for (nx,ny).
+TaskGraph stencil_2d(int nx, int ny, double bytes, bool periodic = false,
+                     double compute_load = 1.0);
+
+/// 3D Jacobi / 6-point stencil on nx-by-ny-by-nz (id = x + nx*(y + ny*z)).
+TaskGraph stencil_3d(int nx, int ny, int nz, double bytes,
+                     bool periodic = false, double compute_load = 1.0);
+
+/// Bidirectional ring of n tasks.
+TaskGraph ring(int n, double bytes, double compute_load = 1.0);
+
+/// Complete graph on n tasks (all-to-all, e.g. dense FFT transpose phase).
+TaskGraph complete(int n, double bytes, double compute_load = 1.0);
+
+/// Matrix-transpose exchange on an n-by-n logical grid of tasks
+/// (id = col + n*row): task (r, c) exchanges `bytes` with task (c, r).
+/// Diagonal tasks have no partner.  A classic adversarial pattern for
+/// grid topologies: partners are maximally far apart under naive layouts.
+TaskGraph transpose(int n, double bytes, double compute_load = 1.0);
+
+/// Butterfly / hypercube-exchange pattern on n = 2^stages tasks: task i
+/// exchanges `bytes` with i XOR 2^s for every stage s (FFT, bitonic sort,
+/// recursive-doubling allreduce).
+TaskGraph butterfly(int stages, double bytes, double compute_load = 1.0);
+
+/// Erdős–Rényi G(n, p_edge) with edge bytes uniform in [min_bytes,
+/// max_bytes] and unit compute load; resamples until connected when
+/// `require_connected` (throws after 64 attempts).
+TaskGraph random_graph(int n, double p_edge, double min_bytes,
+                       double max_bytes, Rng& rng,
+                       bool require_connected = true);
+
+/// Random geometric graph: n points uniform in the unit square, edge when
+/// distance <= radius, bytes = base_bytes.  Mimics spatial decomposition
+/// workloads.  Resamples until connected (throws after 64 attempts).
+TaskGraph random_geometric(int n, double radius, double base_bytes, Rng& rng);
+
+/// True if the task graph is connected (isolated vertices count as
+/// disconnected unless n <= 1).
+bool is_connected(const TaskGraph& g);
+
+}  // namespace topomap::graph

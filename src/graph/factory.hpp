@@ -1,0 +1,36 @@
+// String-spec task-graph factory (mirror of topo::make_topology), used by
+// the CLI tool and benches so workloads can be named on a command line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+
+namespace topomap::graph {
+
+/// Construct a workload from a spec string:
+///   "stencil2d:16x16[:bytes]"     4-point stencil (default 1024 B/edge)
+///   "stencil3d:8x8x8[:bytes]"     6-point stencil
+///   "ring:64[:bytes]"
+///   "complete:16[:bytes]"         all-to-all
+///   "transpose:8[:bytes]"         8x8 matrix-transpose exchange (64 tasks)
+///   "butterfly:6[:bytes]"         2^6-task hypercube exchange
+///   "er:100:0.05[:maxbytes]"      Erdős–Rényi, bytes uniform in [1, max]
+///   "rgg:100:0.15[:bytes]"        random geometric, unit square
+///   "md:8x6x5[:atoms]"            synthetic MD cell/pair decomposition
+/// Randomized families draw from `rng`.  Throws precondition_error on
+/// malformed specs.
+TaskGraph make_task_graph(const std::string& spec, Rng& rng);
+
+/// Read a task graph from the repository's edge-list format:
+///   tasks N
+///   a b bytes        (one undirected edge per line; '#' comments)
+TaskGraph read_task_graph(std::istream& is, const std::string& label = "file");
+TaskGraph read_task_graph_file(const std::string& path);
+
+/// Write the matching edge-list file.
+void write_task_graph(std::ostream& os, const TaskGraph& g);
+
+}  // namespace topomap::graph

@@ -1,0 +1,67 @@
+#include "graph/quotient.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::graph {
+
+TaskGraph quotient_graph(const TaskGraph& g, const std::vector<int>& assignment,
+                         int num_groups) {
+  TOPOMAP_REQUIRE(static_cast<int>(assignment.size()) == g.num_vertices(),
+                  "assignment size mismatch");
+  TOPOMAP_REQUIRE(num_groups >= 1, "need at least one group");
+
+  std::ostringstream label;
+  label << "quotient(" << g.label() << ",k=" << num_groups << ')';
+  TaskGraph::Builder b(label.str());
+  b.add_vertices(num_groups, 0.0);
+
+  std::vector<double> group_weight(static_cast<std::size_t>(num_groups), 0.0);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int grp = assignment[static_cast<std::size_t>(v)];
+    TOPOMAP_REQUIRE(grp >= 0 && grp < num_groups, "group id out of range");
+    group_weight[static_cast<std::size_t>(grp)] += g.vertex_weight(v);
+  }
+  for (int grp = 0; grp < num_groups; ++grp)
+    b.set_vertex_weight(grp, group_weight[static_cast<std::size_t>(grp)]);
+
+  for (const UndirectedEdge& e : g.edges()) {
+    const int ga = assignment[static_cast<std::size_t>(e.a)];
+    const int gb = assignment[static_cast<std::size_t>(e.b)];
+    if (ga != gb) b.add_edge(ga, gb, e.bytes);
+  }
+  return std::move(b).build();
+}
+
+Subgraph induced_subgraph(const TaskGraph& g, const std::vector<int>& vertices,
+                          bool unit_weights) {
+  Subgraph out;
+  std::vector<int> parent_to_local(static_cast<std::size_t>(g.num_vertices()),
+                                   -1);
+  TaskGraph::Builder b("sub[" + g.label() + "]");
+  for (int v : vertices) {
+    TOPOMAP_REQUIRE(v >= 0 && v < g.num_vertices(),
+                    "subgraph vertex out of range");
+    TOPOMAP_REQUIRE(parent_to_local[static_cast<std::size_t>(v)] == -1,
+                    "duplicate vertex in subgraph selection");
+    parent_to_local[static_cast<std::size_t>(v)] =
+        b.add_vertex(unit_weights ? 1.0 : g.vertex_weight(v));
+    out.local_to_parent.push_back(v);
+  }
+  for (const UndirectedEdge& e : g.edges()) {
+    const int la = parent_to_local[static_cast<std::size_t>(e.a)];
+    const int lb = parent_to_local[static_cast<std::size_t>(e.b)];
+    if (la >= 0 && lb >= 0) b.add_edge(la, lb, e.bytes);
+  }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+double average_degree(const TaskGraph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_vertices());
+}
+
+}  // namespace topomap::graph

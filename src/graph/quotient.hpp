@@ -1,0 +1,37 @@
+// Quotient (coalesced) task graph: contract each partition group into one
+// vertex.  This is the paper's phase-1 output — after METIS-style
+// partitioning of the object graph into p groups, the p-vertex quotient
+// graph is what the mapping heuristics place onto the p processors.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace topomap::graph {
+
+/// @param g           original task graph
+/// @param assignment  group id in [0, num_groups) per vertex
+/// @param num_groups  number of groups (every id must appear? no — empty
+///                    groups become isolated zero-weight vertices)
+/// Group vertex weight = sum of member weights; inter-group edge bytes =
+/// sum of crossing edge bytes.  Intra-group communication vanishes (it is
+/// intra-processor after mapping).
+TaskGraph quotient_graph(const TaskGraph& g, const std::vector<int>& assignment,
+                         int num_groups);
+
+/// Average vertex degree of a graph (2|E| / |V|); the paper reports this
+/// for coalesced LeanMD graphs to explain mappability.
+double average_degree(const TaskGraph& g);
+
+/// Induced subgraph on `vertices` (original ids; duplicates rejected).
+/// Edges with both endpoints inside are kept.  local_to_parent[i] is the
+/// original id of local vertex i (in the order given).
+struct Subgraph {
+  TaskGraph graph;
+  std::vector<int> local_to_parent;
+};
+Subgraph induced_subgraph(const TaskGraph& g, const std::vector<int>& vertices,
+                          bool unit_weights = false);
+
+}  // namespace topomap::graph

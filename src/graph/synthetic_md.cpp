@@ -1,0 +1,85 @@
+#include "graph/synthetic_md.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::graph {
+
+int md_cell_count(const MdParams& p) {
+  return p.cells_x * p.cells_y * p.cells_z;
+}
+
+TaskGraph synthetic_md(const MdParams& p, Rng& rng) {
+  TOPOMAP_REQUIRE(p.cells_x >= 1 && p.cells_y >= 1 && p.cells_z >= 1,
+                  "cell grid extents must be positive");
+  TOPOMAP_REQUIRE(p.atoms_per_cell >= 1.0, "need at least one atom per cell");
+  TOPOMAP_REQUIRE(p.atom_spread >= 0.0 && p.atom_spread < 1.0,
+                  "atom_spread must be in [0,1)");
+
+  const int ncells = md_cell_count(p);
+  auto cell_id = [&p](int x, int y, int z) {
+    return x + p.cells_x * (y + p.cells_y * z);
+  };
+
+  // Draw per-cell atom counts.
+  std::vector<double> atoms(static_cast<std::size_t>(ncells));
+  for (double& a : atoms) {
+    const double lo = p.atoms_per_cell * (1.0 - p.atom_spread);
+    const double hi = p.atoms_per_cell * (1.0 + p.atom_spread);
+    a = std::max(1.0, rng.uniform_double(lo, hi));
+  }
+
+  std::ostringstream label;
+  label << "md(" << p.cells_x << 'x' << p.cells_y << 'x' << p.cells_z
+        << ",atoms=" << p.atoms_per_cell << ')';
+  TaskGraph::Builder b(label.str());
+
+  // Cell objects: integration work proportional to atom count.
+  for (int c = 0; c < ncells; ++c)
+    b.add_vertex(atoms[static_cast<std::size_t>(c)] * p.cell_work_per_atom);
+
+  // Enumerate neighbouring cell pairs once (canonical direction), create a
+  // pair object per pair, and wire cell->pair edges.
+  auto wrap = [](int v, int extent) { return ((v % extent) + extent) % extent; };
+  for (int z = 0; z < p.cells_z; ++z) {
+    for (int y = 0; y < p.cells_y; ++y) {
+      for (int x = 0; x < p.cells_x; ++x) {
+        const int self = cell_id(x, y, z);
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (!p.full_neighborhood &&
+                  (std::abs(dx) + std::abs(dy) + std::abs(dz) != 1))
+                continue;
+              int nx = x + dx, ny = y + dy, nz = z + dz;
+              if (p.periodic) {
+                if (p.cells_x > 2) nx = wrap(nx, p.cells_x);
+                if (p.cells_y > 2) ny = wrap(ny, p.cells_y);
+                if (p.cells_z > 2) nz = wrap(nz, p.cells_z);
+              }
+              if (nx < 0 || nx >= p.cells_x || ny < 0 || ny >= p.cells_y ||
+                  nz < 0 || nz >= p.cells_z)
+                continue;
+              const int other = cell_id(nx, ny, nz);
+              if (other <= self) continue;  // canonical direction only
+              const double wa = atoms[static_cast<std::size_t>(self)];
+              const double wb = atoms[static_cast<std::size_t>(other)];
+              const int pair =
+                  b.add_vertex(wa * wb * p.pair_work_per_atom2);
+              // Coordinates out + forces back, both proportional to the
+              // contributing cell's atoms.
+              b.add_edge(self, pair, 2.0 * wa * p.bytes_per_atom);
+              b.add_edge(other, pair, 2.0 * wb * p.bytes_per_atom);
+            }
+          }
+        }
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace topomap::graph

@@ -1,0 +1,51 @@
+// Synthetic molecular-dynamics workload — substitute for the paper's LeanMD
+// load-database dumps (see DESIGN.md, substitutions).
+//
+// LeanMD (a Charm++ mini-app in the NAMD family) decomposes space into
+// "cells" (patches) holding atoms plus one "pair-compute" object per
+// neighbouring cell pair.  Each iteration every cell streams its atom
+// coordinates to all its pair objects and receives forces back, so the
+// object communication graph is bipartite cell<->pair with bytes
+// proportional to the atoms in the contributing cell, and pair compute load
+// proportional to the product of the two cells' atom counts.
+//
+// We generate exactly that object graph.  With a cx*cy*cz cell grid and a
+// 26-cell neighbourhood the object count is ~14x the cell count, which at
+// the default geometry lands near the paper's 3240+p objects, and the
+// virtualisation-ratio effects the paper studies (dense coalesced graphs at
+// low p) emerge naturally.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+
+namespace topomap::graph {
+
+struct MdParams {
+  int cells_x = 8;
+  int cells_y = 6;
+  int cells_z = 5;
+  /// Expected atoms per cell; actual counts are uniform in
+  /// [mean*(1-spread), mean*(1+spread)], min 1 — models density variation.
+  double atoms_per_cell = 200.0;
+  double atom_spread = 0.3;
+  /// Bytes per atom per coordinate/force message.
+  double bytes_per_atom = 24.0;
+  /// Use the full 26-cell neighbourhood (true, LeanMD-like) or only the six
+  /// face neighbours (false).
+  bool full_neighborhood = true;
+  /// Periodic boundary conditions in all three axes.
+  bool periodic = true;
+  /// Relative compute cost scales.
+  double cell_work_per_atom = 1.0;
+  double pair_work_per_atom2 = 0.002;
+};
+
+/// Build the synthetic MD object graph.  Vertices [0, ncells) are cells
+/// (row-major, x fastest); the remainder are pair-compute objects.
+TaskGraph synthetic_md(const MdParams& params, Rng& rng);
+
+/// Number of cell vertices a given parameter set produces.
+int md_cell_count(const MdParams& params);
+
+}  // namespace topomap::graph

@@ -1,0 +1,146 @@
+#include "netsim/app.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace topomap::netsim {
+
+namespace {
+
+/// Event-driven BSP engine: one instance per simulation run.
+class IterativeApp final : public SimulationClient {
+ public:
+  IterativeApp(const graph::TaskGraph& g, const topo::Topology& topo,
+               const core::Mapping& mapping, const AppParams& app,
+               const NetworkParams& net, ServiceModel model)
+      : g_(g),
+        mapping_(mapping),
+        app_(app),
+        net_(topo, net, model, this),
+        task_of_proc_(core::inverse_mapping(mapping, topo)) {
+    TOPOMAP_REQUIRE(app.iterations >= 1, "need at least one iteration");
+    TOPOMAP_REQUIRE(app.compute_us >= 0.0, "negative compute time");
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    done_iters_.assign(n, 0);
+    computing_.assign(n, 0);
+    nic_free_.assign(n, 0.0);
+    recv_count_.assign(n * static_cast<std::size_t>(app.iterations), 0);
+    iter_complete_.assign(static_cast<std::size_t>(app.iterations), 0.0);
+    iter_remaining_.assign(static_cast<std::size_t>(app.iterations),
+                           g.num_vertices());
+  }
+
+  void degrade(const std::vector<DegradedLink>& degraded) {
+    for (const DegradedLink& d : degraded)
+      net_.degrade_link(d.from, d.to, d.factor);
+  }
+
+  AppResult run() {
+    for (int t = 0; t < g_.num_vertices(); ++t) try_start(0.0, t);
+    AppResult result;
+    result.completion_us = net_.run_until_idle();
+    result.messages = net_.messages_delivered();
+    if (result.messages > 0) {
+      result.avg_message_latency_us = net_.latency_stats().mean();
+      result.p99_message_latency_us = net_.latency_stats().percentile(0.99);
+      result.max_message_latency_us = net_.latency_stats().max();
+      result.mean_hops = net_.hop_stats().mean();
+    }
+    result.max_link_busy_us = net_.max_link_busy_us();
+    result.mean_link_busy_us = net_.mean_link_busy_us();
+    result.iteration_complete_us = iter_complete_;
+    for (int remaining : iter_remaining_)
+      TOPOMAP_ASSERT(remaining == 0, "iteration left unfinished tasks");
+    // Every task must have finished every iteration, and nothing may be in
+    // flight — conservation check on the whole pipeline.
+    for (int t = 0; t < g_.num_vertices(); ++t)
+      TOPOMAP_ASSERT(done_iters_[static_cast<std::size_t>(t)] ==
+                         app_.iterations,
+                     "task did not finish all iterations (deadlock?)");
+    return result;
+  }
+
+  void on_delivery(SimTime now, const Message& msg) override {
+    const int task = task_of_proc_[static_cast<std::size_t>(msg.dst_node)];
+    const auto iter = static_cast<int>(msg.tag);
+    ++recv_count_[static_cast<std::size_t>(task) *
+                      static_cast<std::size_t>(app_.iterations) +
+                  static_cast<std::size_t>(iter)];
+    try_start(now, task);
+  }
+
+  void on_app_event(SimTime now, std::uint64_t payload) override {
+    // Compute finished for `payload`: emit this iteration's messages.
+    const int task = static_cast<int>(payload);
+    const int iter = done_iters_[static_cast<std::size_t>(task)];
+    const int src_node = mapping_[static_cast<std::size_t>(task)];
+    SimTime& nic = nic_free_[static_cast<std::size_t>(task)];
+    nic = std::max(nic, now);
+    for (const graph::Edge& e : g_.edges_of(task)) {
+      const int dst_node = mapping_[static_cast<std::size_t>(e.neighbor)];
+      net_.inject(nic, src_node, dst_node, e.bytes / 2.0,
+                  static_cast<std::uint64_t>(iter));
+      nic += net_.params().injection_overhead_us;  // serialise the NIC
+    }
+    computing_[static_cast<std::size_t>(task)] = 0;
+    ++done_iters_[static_cast<std::size_t>(task)];
+    iter_complete_[static_cast<std::size_t>(iter)] =
+        std::max(iter_complete_[static_cast<std::size_t>(iter)], now);
+    --iter_remaining_[static_cast<std::size_t>(iter)];
+    try_start(now, task);
+  }
+
+ private:
+  double compute_time(int task) const {
+    return app_.scale_compute_by_weight
+               ? app_.compute_us * g_.vertex_weight(task)
+               : app_.compute_us;
+  }
+
+  /// Start the next compute phase of `task` if its dependencies are met.
+  void try_start(SimTime now, int task) {
+    if (computing_[static_cast<std::size_t>(task)]) return;
+    const int iter = done_iters_[static_cast<std::size_t>(task)];
+    if (iter >= app_.iterations) return;
+    if (iter > 0) {
+      const int have =
+          recv_count_[static_cast<std::size_t>(task) *
+                          static_cast<std::size_t>(app_.iterations) +
+                      static_cast<std::size_t>(iter - 1)];
+      if (have < g_.degree(task)) return;
+    }
+    computing_[static_cast<std::size_t>(task)] = 1;
+    net_.schedule_app(now + compute_time(task),
+                      static_cast<std::uint64_t>(task));
+  }
+
+  const graph::TaskGraph& g_;
+  const core::Mapping& mapping_;
+  const AppParams app_;
+  Network net_;
+  std::vector<int> task_of_proc_;
+  std::vector<int> done_iters_;
+  std::vector<char> computing_;
+  std::vector<SimTime> nic_free_;
+  std::vector<int> recv_count_;  // [task * iterations + iter]
+  std::vector<double> iter_complete_;  // per-iteration finish time
+  std::vector<int> iter_remaining_;    // tasks yet to compute each iter
+};
+
+}  // namespace
+
+AppResult run_iterative_app(const graph::TaskGraph& g,
+                            const topo::Topology& topo,
+                            const core::Mapping& mapping,
+                            const AppParams& app, const NetworkParams& net,
+                            ServiceModel model,
+                            const std::vector<DegradedLink>& degraded) {
+  TOPOMAP_REQUIRE(core::is_one_to_one(mapping, topo),
+                  "iterative app needs a one-to-one mapping");
+  IterativeApp sim(g, topo, mapping, app, net, model);
+  sim.degrade(degraded);
+  return sim.run();
+}
+
+}  // namespace topomap::netsim

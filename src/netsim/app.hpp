@@ -1,0 +1,63 @@
+// Iterative (Jacobi-like) application driver on top of the network
+// simulator — the analogue of the paper's trace-driven BigNetSim runs.
+//
+// The communication pattern is a task graph placed on the machine by a
+// one-to-one mapping.  Each task repeats, for a fixed iteration count:
+//
+//   wait for all neighbour messages of the previous iteration
+//   -> compute for compute_us
+//   -> send e.bytes/2 to every neighbour (each undirected task-graph edge
+//      carries e.bytes per iteration, half in each direction)
+//
+// so the per-iteration network load equals the task graph's byte totals and
+// per-link load tracks hop-bytes exactly.  Message sends at a node are
+// serialised by the injection overhead (one NIC per node).
+#pragma once
+
+#include "core/mapping.hpp"
+#include "graph/task_graph.hpp"
+#include "netsim/network.hpp"
+#include "topo/topology.hpp"
+
+namespace topomap::netsim {
+
+struct AppParams {
+  int iterations = 100;
+  /// Base compute time per task per iteration, microseconds.
+  double compute_us = 10.0;
+  /// When true, a task's compute time is compute_us * vertex_weight.
+  bool scale_compute_by_weight = false;
+};
+
+/// A degraded physical link for failure-injection runs.
+struct DegradedLink {
+  int from = 0;
+  int to = 0;
+  double factor = 1.0;  ///< remaining fraction of nominal bandwidth
+};
+
+struct AppResult {
+  SimTime completion_us = 0.0;          ///< all iterations finished
+  double avg_message_latency_us = 0.0;
+  double p99_message_latency_us = 0.0;
+  double max_message_latency_us = 0.0;
+  std::uint64_t messages = 0;
+  double mean_hops = 0.0;               ///< observed hops per message
+  double max_link_busy_us = 0.0;        ///< busiest-link occupancy
+  double mean_link_busy_us = 0.0;
+  /// iteration_complete_us[k]: when the last task finished computing (and
+  /// handed its messages to the NIC for) iteration k.  Non-decreasing;
+  /// useful for spotting congestion-induced slowdown over time.
+  std::vector<double> iteration_complete_us;
+};
+
+/// Simulate the iterative application.  Requires a one-to-one mapping.
+/// `degraded` links (if any) run at a fraction of nominal bandwidth.
+AppResult run_iterative_app(const graph::TaskGraph& g,
+                            const topo::Topology& topo,
+                            const core::Mapping& mapping,
+                            const AppParams& app, const NetworkParams& net,
+                            ServiceModel model = ServiceModel::kWormhole,
+                            const std::vector<DegradedLink>& degraded = {});
+
+}  // namespace topomap::netsim

@@ -1,0 +1,58 @@
+// Discrete-event core for the interconnect simulator.
+//
+// A single time-ordered queue of small POD events.  Ties are broken by
+// insertion sequence number so simulations are bit-reproducible regardless
+// of floating-point coincidences.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace topomap::netsim {
+
+/// Simulation time in microseconds.
+using SimTime = double;
+
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break
+  enum class Kind : std::uint8_t {
+    kHop,       ///< a message/packet head reaches hop `hop` of message `id`
+    kDelivery,  ///< message `id` fully received at its destination
+    kApp,       ///< application-level event with opaque payload `id`
+  } kind = Kind::kApp;
+  std::uint64_t id = 0;  ///< message index or app payload
+  std::uint32_t hop = 0; ///< hop index within the route (kHop only)
+  std::uint32_t sub = 0; ///< packet index within the message (kHop only)
+};
+
+class EventQueue {
+ public:
+  void push(SimTime time, Event::Kind kind, std::uint64_t id,
+            std::uint32_t hop = 0, std::uint32_t sub = 0) {
+    heap_.push(Event{time, next_seq_++, kind, id, hop, sub});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace topomap::netsim

@@ -1,0 +1,250 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace topomap::netsim {
+
+Network::Network(const topo::Topology& topo, NetworkParams params,
+                 ServiceModel model, SimulationClient* client)
+    : topo_(topo), params_(params), model_(model), client_(client) {
+  TOPOMAP_REQUIRE(params_.bandwidth > 0.0, "bandwidth must be positive");
+  TOPOMAP_REQUIRE(params_.per_hop_latency_us >= 0.0, "negative hop latency");
+  TOPOMAP_REQUIRE(params_.injection_overhead_us >= 0.0,
+                  "negative injection overhead");
+  TOPOMAP_REQUIRE(params_.packet_bytes > 0.0, "packet size must be positive");
+
+  const int n = topo_.size();
+  link_offset_.resize(static_cast<std::size_t>(n) + 1, 0);
+  nbr_sorted_.resize(static_cast<std::size_t>(n));
+  nbr_slot_.resize(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    const std::vector<int> nbrs = topo_.neighbors(u);
+    link_offset_[static_cast<std::size_t>(u) + 1] =
+        link_offset_[static_cast<std::size_t>(u)] +
+        static_cast<int>(nbrs.size());
+    // Sorted copy with original slot numbers for O(log deg) lookup.
+    std::vector<std::pair<int, int>> order;
+    order.reserve(nbrs.size());
+    for (std::size_t slot = 0; slot < nbrs.size(); ++slot)
+      order.emplace_back(nbrs[slot], static_cast<int>(slot));
+    std::sort(order.begin(), order.end());
+    for (const auto& [nbr, slot] : order) {
+      nbr_sorted_[static_cast<std::size_t>(u)].push_back(nbr);
+      nbr_slot_[static_cast<std::size_t>(u)].push_back(slot);
+    }
+  }
+  // Link id = link_offset_[u] + original neighbour slot.
+  neighbor_of_link_.assign(
+      static_cast<std::size_t>(link_offset_[static_cast<std::size_t>(n)]), -1);
+  for (int u = 0; u < n; ++u) {
+    const auto& sorted = nbr_sorted_[static_cast<std::size_t>(u)];
+    const auto& slots = nbr_slot_[static_cast<std::size_t>(u)];
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      neighbor_of_link_[static_cast<std::size_t>(
+          link_offset_[static_cast<std::size_t>(u)] + slots[i])] = sorted[i];
+  }
+  link_free_.assign(neighbor_of_link_.size(), 0.0);
+  link_busy_.assign(neighbor_of_link_.size(), 0.0);
+  link_slowdown_.assign(neighbor_of_link_.size(), 1.0);
+}
+
+void Network::degrade_link(int from, int to, double factor) {
+  TOPOMAP_REQUIRE(factor > 0.0 && factor <= 1.0,
+                  "degradation factor must be in (0, 1]");
+  link_slowdown_[static_cast<std::size_t>(link_id(from, to))] = 1.0 / factor;
+}
+
+int Network::link_id(int from, int to) const {
+  const auto& sorted = nbr_sorted_[static_cast<std::size_t>(from)];
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), to);
+  TOPOMAP_ASSERT(it != sorted.end() && *it == to,
+                 "route step is not a physical link");
+  const auto idx = static_cast<std::size_t>(it - sorted.begin());
+  return link_offset_[static_cast<std::size_t>(from)] +
+         nbr_slot_[static_cast<std::size_t>(from)][idx];
+}
+
+void Network::inject(SimTime now, int src_node, int dst_node, double bytes,
+                     std::uint64_t tag) {
+  TOPOMAP_REQUIRE(now + 1e-9 >= now_, "injection in the simulated past");
+  TOPOMAP_REQUIRE(bytes > 0.0, "message must carry bytes");
+
+  MessageState state;
+  state.msg = Message{src_node, dst_node, bytes, tag, now, 0.0};
+  state.route_hops = topo_.distance(src_node, dst_node);
+  const bool adaptive = params_.routing == RoutingPolicy::kMinimalAdaptive;
+  if (src_node != dst_node && !adaptive) {
+    const std::vector<int> path = topo_.route(src_node, dst_node);
+    state.links.reserve(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      state.links.push_back(link_id(path[i], path[i + 1]));
+  }
+  if (model_ == ServiceModel::kStoreForward && state.route_hops > 0) {
+    state.packets = static_cast<std::uint32_t>(
+        std::ceil(bytes / params_.packet_bytes));
+  }
+  if (src_node != dst_node && adaptive) {
+    // Track the current position of the head (wormhole) / each packet.
+    state.packet_node.assign(
+        model_ == ServiceModel::kStoreForward ? state.packets : 1, src_node);
+  }
+
+  // Recycle a finished slot if available (keeps memory bounded by the
+  // number of in-flight messages, not total messages).
+  std::uint64_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    messages_[static_cast<std::size_t>(id)] = std::move(state);
+  } else {
+    id = messages_.size();
+    messages_.push_back(std::move(state));
+  }
+
+  const SimTime start = now + params_.injection_overhead_us;
+  if (messages_[static_cast<std::size_t>(id)].route_hops == 0) {
+    queue_.push(start, Event::Kind::kDelivery, id);
+  } else if (model_ == ServiceModel::kWormhole) {
+    queue_.push(start, Event::Kind::kHop, id, 0, 0);
+  } else {
+    const std::uint32_t packets = messages_[static_cast<std::size_t>(id)].packets;
+    for (std::uint32_t pkt = 0; pkt < packets; ++pkt)
+      queue_.push(start, Event::Kind::kHop, id, 0, pkt);
+  }
+}
+
+void Network::schedule_app(SimTime time, std::uint64_t payload) {
+  TOPOMAP_REQUIRE(time + 1e-9 >= now_, "app event in the simulated past");
+  queue_.push(time, Event::Kind::kApp, payload);
+}
+
+SimTime Network::reserve(int link, SimTime earliest, SimTime duration) {
+  const auto idx = static_cast<std::size_t>(link);
+  const SimTime start = std::max(earliest, link_free_[idx]);
+  link_free_[idx] = start + duration;
+  link_busy_[idx] += duration;
+  return start;
+}
+
+int Network::pick_adaptive_link(int cur, int dst) const {
+  const int cur_dist = topo_.distance(cur, dst);
+  const auto& sorted = nbr_sorted_[static_cast<std::size_t>(cur)];
+  const auto& slots = nbr_slot_[static_cast<std::size_t>(cur)];
+  int best_link = -1;
+  SimTime best_free = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (topo_.distance(sorted[i], dst) != cur_dist - 1) continue;
+    const int link = link_offset_[static_cast<std::size_t>(cur)] + slots[i];
+    const SimTime free = link_free_[static_cast<std::size_t>(link)];
+    if (best_link < 0 || free < best_free) {  // ties: lowest neighbour id
+      best_link = link;
+      best_free = free;
+    }
+  }
+  TOPOMAP_ASSERT(best_link >= 0,
+                 "no minimal next hop: topology distances are inconsistent "
+                 "with its neighbour graph (e.g. FatTree)");
+  return best_link;
+}
+
+void Network::handle_hop(const Event& e) {
+  MessageState& state = messages_[static_cast<std::size_t>(e.id)];
+  const bool adaptive = params_.routing == RoutingPolicy::kMinimalAdaptive;
+
+  // Resolve the outgoing link and whether it lands at the destination.
+  int link = -1;
+  bool last_hop = false;
+  int next_node = -1;
+  if (adaptive) {
+    const std::size_t pos_idx =
+        model_ == ServiceModel::kStoreForward ? e.sub : 0;
+    const int cur = state.packet_node[pos_idx];
+    link = pick_adaptive_link(cur, state.msg.dst_node);
+    next_node = neighbor_of_link_[static_cast<std::size_t>(link)];
+    state.packet_node[pos_idx] = next_node;
+    last_hop = (next_node == state.msg.dst_node);
+  } else {
+    link = state.links[e.hop];
+    last_hop = (e.hop + 1 == state.links.size());
+  }
+
+  const double slowdown = link_slowdown_[static_cast<std::size_t>(link)];
+  if (model_ == ServiceModel::kWormhole) {
+    const double serialization =
+        state.msg.bytes / params_.bandwidth * slowdown;
+    const SimTime start = reserve(link, e.time, serialization);
+    const SimTime head_next = start + params_.per_hop_latency_us;
+    if (!last_hop) {
+      queue_.push(head_next, Event::Kind::kHop, e.id, e.hop + 1, 0);
+    } else {
+      // Tail arrives one full serialisation after the head.
+      queue_.push(head_next + serialization, Event::Kind::kDelivery, e.id);
+    }
+    return;
+  }
+
+  // Store-and-forward: this packet fully traverses the link, then forwards.
+  const double full = params_.packet_bytes;
+  const double last_pkt_bytes =
+      state.msg.bytes - full * static_cast<double>(state.packets - 1);
+  const double pkt_bytes = (e.sub + 1 == state.packets) ? last_pkt_bytes : full;
+  const double serialization = pkt_bytes / params_.bandwidth * slowdown;
+  const SimTime start = reserve(link, e.time, serialization);
+  const SimTime arrival = start + serialization + params_.per_hop_latency_us;
+  if (!last_hop) {
+    queue_.push(arrival, Event::Kind::kHop, e.id, e.hop + 1, e.sub);
+  } else {
+    ++state.packets_arrived;
+    if (state.packets_arrived == state.packets)
+      queue_.push(arrival, Event::Kind::kDelivery, e.id);
+  }
+}
+
+void Network::deliver(SimTime time, std::uint64_t id) {
+  MessageState& state = messages_[static_cast<std::size_t>(id)];
+  state.msg.deliver_time = time;
+  ++delivered_;
+  latency_.add(time - state.msg.inject_time);
+  hops_.add(static_cast<double>(state.route_hops));
+  const Message msg = state.msg;  // copy before the slot is recycled
+  free_slots_.push_back(id);
+  if (client_ != nullptr) client_->on_delivery(time, msg);
+}
+
+SimTime Network::run_until_idle() {
+  while (!queue_.empty()) {
+    const Event e = queue_.pop();
+    TOPOMAP_ASSERT(e.time + 1e-9 >= now_, "event time went backwards");
+    now_ = std::max(now_, e.time);
+    switch (e.kind) {
+      case Event::Kind::kHop:
+        handle_hop(e);
+        break;
+      case Event::Kind::kDelivery:
+        deliver(e.time, e.id);
+        break;
+      case Event::Kind::kApp:
+        if (client_ != nullptr) client_->on_app_event(e.time, e.id);
+        break;
+    }
+  }
+  return now_;
+}
+
+double Network::max_link_busy_us() const {
+  double mx = 0.0;
+  for (double b : link_busy_) mx = std::max(mx, b);
+  return mx;
+}
+
+double Network::mean_link_busy_us() const {
+  if (link_busy_.empty()) return 0.0;
+  double total = 0.0;
+  for (double b : link_busy_) total += b;
+  return total / static_cast<double>(link_busy_.size());
+}
+
+}  // namespace topomap::netsim

@@ -1,0 +1,50 @@
+#include "partition/greedy_partition.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace topomap::part {
+
+PartitionResult GreedyPartitioner::partition(const graph::TaskGraph& g, int k,
+                                             Rng& rng) const {
+  TOPOMAP_REQUIRE(k >= 1, "need at least one part");
+  const int n = g.num_vertices();
+  PartitionResult result;
+  result.num_parts = k;
+  result.assignment.assign(static_cast<std::size_t>(n), 0);
+
+  // Longest-processing-time-first: heaviest vertex to the lightest part.
+  std::vector<int> order = rng.permutation(n);
+  std::stable_sort(order.begin(), order.end(), [&g](int a, int b) {
+    return g.vertex_weight(a) > g.vertex_weight(b);
+  });
+
+  using Entry = std::pair<double, int>;  // (part weight, part id)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int part = 0; part < k; ++part) heap.emplace(0.0, part);
+  for (int v : order) {
+    auto [weight, part] = heap.top();
+    heap.pop();
+    result.assignment[static_cast<std::size_t>(v)] = part;
+    heap.emplace(weight + g.vertex_weight(v), part);
+  }
+  return result;
+}
+
+PartitionResult RandomPartitioner::partition(const graph::TaskGraph& g, int k,
+                                             Rng& rng) const {
+  TOPOMAP_REQUIRE(k >= 1, "need at least one part");
+  const int n = g.num_vertices();
+  PartitionResult result;
+  result.num_parts = k;
+  result.assignment.assign(static_cast<std::size_t>(n), 0);
+  const std::vector<int> order = rng.permutation(n);
+  for (int i = 0; i < n; ++i)
+    result.assignment[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        i % k;
+  return result;
+}
+
+}  // namespace topomap::part

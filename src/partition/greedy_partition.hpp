@@ -1,0 +1,28 @@
+// Topology- and communication-oblivious partitioners.
+//
+// GreedyPartitioner is the Charm++ GreedyLB analogue the paper mentions as
+// an alternative to METIS for phase 1: longest-processing-time-first load
+// balancing, which bounds imbalance but ignores communication entirely.
+// RandomPartitioner deals vertices round-robin after a shuffle; it is the
+// worst-reasonable baseline for tests and ablations.
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace topomap::part {
+
+class GreedyPartitioner final : public Partitioner {
+ public:
+  PartitionResult partition(const graph::TaskGraph& g, int k,
+                            Rng& rng) const override;
+  std::string name() const override { return "GreedyPartition"; }
+};
+
+class RandomPartitioner final : public Partitioner {
+ public:
+  PartitionResult partition(const graph::TaskGraph& g, int k,
+                            Rng& rng) const override;
+  std::string name() const override { return "RandomPartition"; }
+};
+
+}  // namespace topomap::part

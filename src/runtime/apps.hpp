@@ -1,0 +1,36 @@
+// Instrumented applications for the mini runtime.
+//
+// These generate the measured load databases the paper's evaluation feeds
+// to its strategies:
+//   * Jacobi2DApp — a hand-written message-driven 2D Jacobi benchmark
+//     (paper §5.2's "jacobi-like communication pattern" program);
+//   * run_graph_exchange — a generic BSP exchange along any task graph's
+//     edges (used with graph::synthetic_md for the LeanMD-like workload).
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "runtime/chare.hpp"
+
+namespace topomap::rts {
+
+struct JacobiConfig {
+  int nx = 8;
+  int ny = 8;
+  int iterations = 10;
+  /// Bytes per boundary-exchange message (one direction).
+  double message_bytes = 1024.0;
+  /// Compute load charged per chare per iteration.
+  double work_per_iteration = 1.0;
+};
+
+/// Run the message-driven 2D Jacobi program to completion and return the
+/// measured database (nx*ny objects; 4-point neighbour communication).
+LBDatabase run_jacobi2d(const JacobiConfig& config);
+
+/// Generic instrumented exchange: chare v sends bytes(e)/2 along each
+/// incident edge per iteration and charges its vertex weight as load.
+/// After `iterations` rounds the recorded database's task graph equals the
+/// input graph scaled by `iterations` (a tested invariant).
+LBDatabase run_graph_exchange(const graph::TaskGraph& g, int iterations);
+
+}  // namespace topomap::rts

@@ -1,0 +1,109 @@
+#include "runtime/chare.hpp"
+
+namespace topomap::rts {
+
+void Chare::send(int dst, double bytes, std::uint64_t tag) {
+  TOPOMAP_ASSERT(runtime_ != nullptr, "chare used outside a runtime");
+  runtime_->enqueue(index_, dst, bytes, tag);
+}
+
+void Chare::charge(double load) {
+  TOPOMAP_ASSERT(runtime_ != nullptr, "chare used outside a runtime");
+  runtime_->record_load(index_, load);
+}
+
+void Chare::contribute_done() {
+  TOPOMAP_ASSERT(runtime_ != nullptr, "chare used outside a runtime");
+  runtime_->mark_done(index_);
+}
+
+ChareRuntime& Chare::runtime() const {
+  TOPOMAP_ASSERT(runtime_ != nullptr, "chare used outside a runtime");
+  return *runtime_;
+}
+
+int ChareRuntime::insert(std::unique_ptr<Chare> chare) {
+  TOPOMAP_REQUIRE(chare != nullptr, "null chare");
+  TOPOMAP_REQUIRE(!sealed_, "cannot insert chares after execution started");
+  const int idx = num_chares();
+  chare->runtime_ = this;
+  chare->index_ = idx;
+  chares_.push_back(std::move(chare));
+  done_.push_back(0);
+  placement_.push_back(0);
+  db_ = LBDatabase(num_chares());
+  return idx;
+}
+
+int ChareRuntime::apply_placement(const std::vector<int>& chare_to_proc) {
+  TOPOMAP_REQUIRE(static_cast<int>(chare_to_proc.size()) == num_chares(),
+                  "placement size does not match chare count");
+  int migrations = 0;
+  for (int c = 0; c < num_chares(); ++c) {
+    TOPOMAP_REQUIRE(chare_to_proc[static_cast<std::size_t>(c)] >= 0,
+                    "negative processor id");
+    if (placement_[static_cast<std::size_t>(c)] !=
+        chare_to_proc[static_cast<std::size_t>(c)]) {
+      placement_[static_cast<std::size_t>(c)] =
+          chare_to_proc[static_cast<std::size_t>(c)];
+      ++migrations;
+    }
+  }
+  return migrations;
+}
+
+int ChareRuntime::processor_of(int chare) const {
+  TOPOMAP_REQUIRE(chare >= 0 && chare < num_chares(), "chare out of range");
+  return placement_[static_cast<std::size_t>(chare)];
+}
+
+void ChareRuntime::start(int chare, std::uint64_t tag) {
+  TOPOMAP_REQUIRE(chare >= 0 && chare < num_chares(), "chare out of range");
+  sealed_ = true;
+  queue_.push_back(Msg{-1, chare, 0.0, tag});
+}
+
+void ChareRuntime::enqueue(int src, int dst, double bytes, std::uint64_t tag) {
+  TOPOMAP_REQUIRE(dst >= 0 && dst < num_chares(), "destination out of range");
+  sealed_ = true;
+  if (src >= 0 && src != dst && bytes > 0.0) {
+    db_.add_comm(src, dst, bytes);
+    if (placement_[static_cast<std::size_t>(src)] ==
+        placement_[static_cast<std::size_t>(dst)])
+      intra_bytes_ += bytes;
+    else
+      inter_bytes_ += bytes;
+  }
+  queue_.push_back(Msg{src, dst, bytes, tag});
+}
+
+void ChareRuntime::record_load(int chare, double load) {
+  db_.add_load(chare, load);
+}
+
+void ChareRuntime::mark_done(int chare) {
+  if (!done_[static_cast<std::size_t>(chare)]) {
+    done_[static_cast<std::size_t>(chare)] = 1;
+    ++done_count_;
+  }
+}
+
+void ChareRuntime::run_to_quiescence(std::uint64_t max_messages) {
+  while (!queue_.empty()) {
+    TOPOMAP_ASSERT(processed_ < max_messages,
+                   "message budget exhausted — runaway chare program?");
+    const Msg msg = queue_.front();
+    queue_.pop_front();
+    ++processed_;
+    chares_[static_cast<std::size_t>(msg.dst)]->on_message(msg.src, msg.bytes,
+                                                           msg.tag);
+  }
+}
+
+void ChareRuntime::reset_measurements() {
+  db_ = LBDatabase(num_chares());
+  intra_bytes_ = 0.0;
+  inter_bytes_ = 0.0;
+}
+
+}  // namespace topomap::rts

@@ -1,0 +1,118 @@
+// Mini message-driven runtime — the Charm++ substitute (DESIGN.md S6).
+//
+// A ChareRuntime hosts an array of migratable "chares" (compute objects)
+// and a FIFO message scheduler.  Chares react to messages (message-driven
+// execution, no global barriers), charge their measured compute via
+// charge(), and all sends/loads are transparently instrumented into an
+// LBDatabase — the measurement half of the paper's load-balancing
+// framework.  Execution is sequential and deterministic; the network
+// simulator (netsim) models timing separately, which mirrors the paper's
+// split between the emulated Charm++ run and BigNetSim.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "runtime/lb_database.hpp"
+#include "support/error.hpp"
+
+namespace topomap::rts {
+
+class ChareRuntime;
+
+/// A migratable compute object.  Subclasses implement on_message; they may
+/// call send()/charge()/contribute_done() from inside it.
+class Chare {
+ public:
+  virtual ~Chare() = default;
+
+  /// A message of `bytes` with user `tag` arrived from chare `src`.
+  virtual void on_message(int src, double bytes, std::uint64_t tag) = 0;
+
+ protected:
+  /// Enqueue a message to another chare (instrumented as communication).
+  void send(int dst, double bytes, std::uint64_t tag);
+  /// Account measured compute load for this chare.
+  void charge(double load);
+  /// Signal that this chare reached its termination condition.
+  void contribute_done();
+
+  int index() const { return index_; }
+  ChareRuntime& runtime() const;
+
+ private:
+  friend class ChareRuntime;
+  ChareRuntime* runtime_ = nullptr;
+  int index_ = -1;
+};
+
+class ChareRuntime {
+ public:
+  ChareRuntime() = default;
+  ChareRuntime(const ChareRuntime&) = delete;
+  ChareRuntime& operator=(const ChareRuntime&) = delete;
+
+  /// Insert a chare; returns its index.  All chares must be inserted
+  /// before the first send.
+  int insert(std::unique_ptr<Chare> chare);
+
+  int num_chares() const { return static_cast<int>(chares_.size()); }
+
+  /// Kick-start: deliver a zero-byte bootstrap message from the runtime
+  /// (src = -1) to the chare.
+  void start(int chare, std::uint64_t tag = 0);
+
+  /// Process messages until the queue drains or every chare contributed
+  /// done.  Throws invariant_error after `max_messages` deliveries
+  /// (runaway-protection).
+  void run_to_quiescence(std::uint64_t max_messages = 100'000'000);
+
+  bool all_done() const { return done_count_ == num_chares(); }
+  std::uint64_t messages_processed() const { return processed_; }
+
+  /// Measurement window: loads and communication recorded so far.
+  const LBDatabase& database() const { return db_; }
+  /// Clear measurements (start a new window), keeping the chares.
+  void reset_measurements();
+
+  // --- placement / migration (the "apply the LB result" half) ---
+
+  /// Move chares to the given processors; returns how many chares changed
+  /// processor (the migration count a real runtime would PUP-serialise).
+  /// All chares start on processor 0.
+  int apply_placement(const std::vector<int>& chare_to_proc);
+
+  int processor_of(int chare) const;
+
+  /// Bytes sent between chares on the same / different processors under
+  /// the current placement (accumulated alongside the LB database).
+  double intra_processor_bytes() const { return intra_bytes_; }
+  double inter_processor_bytes() const { return inter_bytes_; }
+
+ private:
+  friend class Chare;
+  struct Msg {
+    int src;
+    int dst;
+    double bytes;
+    std::uint64_t tag;
+  };
+  void enqueue(int src, int dst, double bytes, std::uint64_t tag);
+  void record_load(int chare, double load);
+  void mark_done(int chare);
+
+  std::vector<std::unique_ptr<Chare>> chares_;
+  std::vector<char> done_;
+  int done_count_ = 0;
+  std::deque<Msg> queue_;
+  std::uint64_t processed_ = 0;
+  LBDatabase db_{0};
+  std::vector<int> placement_;  ///< chare -> processor (default 0)
+  double intra_bytes_ = 0.0;
+  double inter_bytes_ = 0.0;
+  bool sealed_ = false;  ///< set at first send/start; no inserts after
+};
+
+}  // namespace topomap::rts

@@ -1,0 +1,101 @@
+#include "runtime/dynamic_lb.hpp"
+
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "graph/quotient.hpp"
+#include "support/error.hpp"
+
+namespace topomap::rts {
+
+namespace {
+
+/// Multiplicatively perturb loads and edge bytes.
+graph::TaskGraph drift(const graph::TaskGraph& g, double load_drift,
+                       double comm_drift, Rng& rng) {
+  graph::TaskGraph::Builder b(g.label());
+  for (int v = 0; v < g.num_vertices(); ++v)
+    b.add_vertex(g.vertex_weight(v) *
+                 rng.uniform_double(1.0 - load_drift, 1.0 + load_drift));
+  for (const graph::UndirectedEdge& e : g.edges())
+    b.add_edge(e.a, e.b,
+               e.bytes *
+                   rng.uniform_double(1.0 - comm_drift, 1.0 + comm_drift));
+  return std::move(b).build();
+}
+
+int count_migrations(const std::vector<int>& before,
+                     const std::vector<int>& after) {
+  TOPOMAP_ASSERT(before.size() == after.size(), "placement size changed");
+  int moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    if (before[i] != after[i]) ++moved;
+  return moved;
+}
+
+}  // namespace
+
+std::vector<DynamicEpochStats> run_dynamic_lb(const graph::TaskGraph& initial,
+                                              const topo::Topology& topo,
+                                              const DynamicLBConfig& config,
+                                              Rng& rng) {
+  TOPOMAP_REQUIRE(config.epochs >= 1, "need at least one epoch");
+  TOPOMAP_REQUIRE(config.load_drift >= 0.0 && config.load_drift < 1.0,
+                  "load_drift must be in [0,1)");
+  TOPOMAP_REQUIRE(config.comm_drift >= 0.0 && config.comm_drift < 1.0,
+                  "comm_drift must be in [0,1)");
+  TOPOMAP_REQUIRE(config.pipeline.mapper != nullptr, "pipeline needs a mapper");
+
+  std::vector<DynamicEpochStats> history;
+  graph::TaskGraph current = initial;
+  std::vector<int> prev_placement;
+
+  // Incremental state: grouping and group mapping carried across epochs.
+  std::vector<int> groups;
+  core::Mapping group_mapping;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (epoch > 0)
+      current = drift(current, config.load_drift, config.comm_drift, rng);
+
+    DynamicEpochStats stats;
+    stats.epoch = epoch;
+    std::vector<int> placement;
+
+    if (config.policy == RemapPolicy::kScratch || epoch == 0) {
+      const PipelineResult out =
+          run_two_phase(current, topo, config.pipeline, rng);
+      placement = out.object_to_proc;
+      stats.hops_per_byte = out.hops_per_byte;
+      stats.load_imbalance = out.load_imbalance;
+      groups = out.group_of_object;
+      group_mapping = out.group_mapping;
+    } else {
+      // Incremental: fixed grouping, refine last epoch's group mapping on
+      // the drifted quotient graph.
+      const graph::TaskGraph quotient =
+          current.num_vertices() == topo.size()
+              ? current
+              : graph::quotient_graph(current, groups, topo.size());
+      group_mapping = core::refine_mapping(quotient, topo, group_mapping,
+                                           config.refine_passes)
+                          .mapping;
+      placement.resize(static_cast<std::size_t>(current.num_vertices()));
+      for (int obj = 0; obj < current.num_vertices(); ++obj)
+        placement[static_cast<std::size_t>(obj)] =
+            group_mapping[static_cast<std::size_t>(
+                groups[static_cast<std::size_t>(obj)])];
+      stats.hops_per_byte = core::hops_per_byte(quotient, topo, group_mapping);
+      stats.load_imbalance =
+          part::load_imbalance(current, groups, topo.size());
+    }
+
+    stats.migrations =
+        prev_placement.empty() ? 0
+                               : count_migrations(prev_placement, placement);
+    prev_placement = std::move(placement);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace topomap::rts

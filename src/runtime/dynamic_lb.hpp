@@ -1,0 +1,54 @@
+// Dynamic load balancing over time (extension; the operational context of
+// the paper's strategies inside Charm++).
+//
+// Persistent objects drift in compute load and communication volume
+// between LB steps.  At every epoch the driver remaps and accounts both
+// mapping quality (hops-per-byte, imbalance) and *migration cost* — the
+// number of objects whose processor changed, which in Charm++ is real
+// PUP-serialised data movement.
+//
+// Two policies:
+//   * scratch     — rerun the full two-phase pipeline every epoch: best
+//                   quality, but group relabelling churns placements;
+//   * incremental — keep the phase-1 grouping from epoch 0 and improve the
+//                   previous epoch's group mapping with RefineTopoLB
+//                   sweeps: slightly worse hops-per-byte, far fewer
+//                   migrations.
+#pragma once
+
+#include <vector>
+
+#include "runtime/lb_manager.hpp"
+
+namespace topomap::rts {
+
+enum class RemapPolicy { kScratch, kIncremental };
+
+struct DynamicLBConfig {
+  int epochs = 8;
+  /// Per-epoch multiplicative drift: each vertex weight / edge byte count
+  /// is scaled by uniform(1 - drift, 1 + drift).
+  double load_drift = 0.3;
+  double comm_drift = 0.15;
+  RemapPolicy policy = RemapPolicy::kScratch;
+  /// RefineTopoLB sweeps per epoch in incremental mode.
+  int refine_passes = 4;
+  PipelineConfig pipeline;
+};
+
+struct DynamicEpochStats {
+  int epoch = 0;
+  double hops_per_byte = 0.0;
+  double load_imbalance = 1.0;
+  /// Objects whose processor changed relative to the previous epoch
+  /// (0 for the first epoch by definition).
+  int migrations = 0;
+};
+
+/// Run the drifting-workload simulation; returns one stats row per epoch.
+std::vector<DynamicEpochStats> run_dynamic_lb(const graph::TaskGraph& initial,
+                                              const topo::Topology& topo,
+                                              const DynamicLBConfig& config,
+                                              Rng& rng);
+
+}  // namespace topomap::rts

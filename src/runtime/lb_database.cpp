@@ -1,0 +1,130 @@
+#include "runtime/lb_database.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::rts {
+
+namespace {
+constexpr const char* kMagic = "topomap-lbdump";
+constexpr int kVersion = 1;
+}  // namespace
+
+LBDatabase::LBDatabase(int num_objects) {
+  TOPOMAP_REQUIRE(num_objects >= 0, "negative object count");
+  loads_.assign(static_cast<std::size_t>(num_objects), 0.0);
+}
+
+void LBDatabase::check_object(int id) const {
+  TOPOMAP_REQUIRE(id >= 0 && id < num_objects(), "object id out of range");
+}
+
+void LBDatabase::add_load(int object, double load) {
+  check_object(object);
+  TOPOMAP_REQUIRE(load >= 0.0, "negative load");
+  loads_[static_cast<std::size_t>(object)] += load;
+}
+
+double LBDatabase::load(int object) const {
+  check_object(object);
+  return loads_[static_cast<std::size_t>(object)];
+}
+
+void LBDatabase::add_comm(int a, int b, double bytes) {
+  check_object(a);
+  check_object(b);
+  TOPOMAP_REQUIRE(a != b, "self communication is not recorded");
+  TOPOMAP_REQUIRE(bytes > 0.0, "bytes must be positive");
+  comm_[std::minmax(a, b)] += bytes;
+}
+
+double LBDatabase::comm(int a, int b) const {
+  check_object(a);
+  check_object(b);
+  const auto it = comm_.find(std::minmax(a, b));
+  return it == comm_.end() ? 0.0 : it->second;
+}
+
+void LBDatabase::merge(const LBDatabase& other) {
+  TOPOMAP_REQUIRE(other.num_objects() == num_objects(),
+                  "cannot merge databases with different object counts");
+  for (int i = 0; i < num_objects(); ++i)
+    loads_[static_cast<std::size_t>(i)] +=
+        other.loads_[static_cast<std::size_t>(i)];
+  for (const auto& [key, bytes] : other.comm_) comm_[key] += bytes;
+}
+
+graph::TaskGraph LBDatabase::to_task_graph(const std::string& label) const {
+  graph::TaskGraph::Builder b(label);
+  for (double load : loads_) b.add_vertex(load);
+  for (const auto& [key, bytes] : comm_)
+    b.add_edge(key.first, key.second, bytes);
+  return std::move(b).build();
+}
+
+double LBDatabase::total_comm_bytes() const {
+  double total = 0.0;
+  for (const auto& [key, bytes] : comm_) total += bytes;
+  return total;
+}
+
+double LBDatabase::total_load() const {
+  double total = 0.0;
+  for (double l : loads_) total += l;
+  return total;
+}
+
+void LBDatabase::save(std::ostream& os) const {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << num_objects() << ' ' << comm_.size() << '\n';
+  os << std::setprecision(17);
+  for (double l : loads_) os << l << '\n';
+  for (const auto& [key, bytes] : comm_)
+    os << key.first << ' ' << key.second << ' ' << bytes << '\n';
+}
+
+void LBDatabase::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  TOPOMAP_REQUIRE(static_cast<bool>(out), "cannot open dump file: " + path);
+  save(out);
+  TOPOMAP_REQUIRE(static_cast<bool>(out), "failed writing dump file: " + path);
+}
+
+LBDatabase LBDatabase::load_stream(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  TOPOMAP_REQUIRE(magic == kMagic, "not a topomap LB dump");
+  TOPOMAP_REQUIRE(version == kVersion, "unsupported LB dump version");
+  int objects = 0;
+  std::size_t records = 0;
+  is >> objects >> records;
+  TOPOMAP_REQUIRE(is && objects >= 0, "corrupt LB dump header");
+  LBDatabase db(objects);
+  for (int i = 0; i < objects; ++i) {
+    double load = 0.0;
+    is >> load;
+    TOPOMAP_REQUIRE(static_cast<bool>(is), "corrupt LB dump loads");
+    db.loads_[static_cast<std::size_t>(i)] = load;
+  }
+  for (std::size_t r = 0; r < records; ++r) {
+    int a = 0, b = 0;
+    double bytes = 0.0;
+    is >> a >> b >> bytes;
+    TOPOMAP_REQUIRE(static_cast<bool>(is), "corrupt LB dump comm records");
+    db.add_comm(a, b, bytes);
+  }
+  return db;
+}
+
+LBDatabase LBDatabase::load_file(const std::string& path) {
+  std::ifstream in(path);
+  TOPOMAP_REQUIRE(static_cast<bool>(in), "cannot open dump file: " + path);
+  return load_stream(in);
+}
+
+}  // namespace topomap::rts

@@ -1,0 +1,65 @@
+// Load-balancing database — the analogue of the Charm++ LB framework's
+// measurement store (paper §5.1).
+//
+// An instrumented run records, per migratable object, its measured compute
+// load, and per object pair, the bytes exchanged.  The database can be
+// dumped to a file and replayed offline so different strategies are
+// compared on *exactly the same* load scenario — the paper's
+// +LBDump / +LBSim mechanism.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace topomap::rts {
+
+class LBDatabase {
+ public:
+  LBDatabase() = default;
+  explicit LBDatabase(int num_objects);
+
+  int num_objects() const { return static_cast<int>(loads_.size()); }
+
+  /// Accumulate measured compute load (abstract work units).
+  void add_load(int object, double load);
+  double load(int object) const;
+
+  /// Accumulate bytes exchanged between two distinct objects.
+  void add_comm(int a, int b, double bytes);
+  double comm(int a, int b) const;
+  int num_comm_records() const { return static_cast<int>(comm_.size()); }
+
+  /// Merge another measurement window into this one (object counts must
+  /// match).
+  void merge(const LBDatabase& other);
+
+  /// The paper's process-model view: undirected weighted task graph.
+  graph::TaskGraph to_task_graph(const std::string& label = "lbdb") const;
+
+  /// Total bytes recorded (each pair counted once).
+  double total_comm_bytes() const;
+  double total_load() const;
+
+  // --- dump / replay (versioned text format) ---
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static LBDatabase load_stream(std::istream& is);
+  static LBDatabase load_file(const std::string& path);
+
+  bool operator==(const LBDatabase& other) const = default;
+
+ private:
+  void check_object(int id) const;
+
+  std::vector<double> loads_;
+  /// Sparse symmetric comm matrix keyed by (min,max) object pair; ordered
+  /// so dumps are deterministic.
+  std::map<std::pair<int, int>, double> comm_;
+};
+
+}  // namespace topomap::rts

@@ -1,0 +1,71 @@
+#include "runtime/lb_manager.hpp"
+
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "graph/quotient.hpp"
+#include "support/error.hpp"
+
+namespace topomap::rts {
+
+PipelineResult run_two_phase(const graph::TaskGraph& objects,
+                             const topo::Topology& topo,
+                             const PipelineConfig& config, Rng& rng) {
+  TOPOMAP_REQUIRE(config.mapper != nullptr, "pipeline needs a mapper");
+  const int n = objects.num_vertices();
+  const int p = topo.size();
+  TOPOMAP_REQUIRE(n >= p, "need at least one object per processor");
+
+  PipelineResult result;
+
+  // --- Phase 1: partition objects into p groups (skip when n == p). ---
+  if (n == p) {
+    result.group_of_object.resize(static_cast<std::size_t>(n));
+    std::iota(result.group_of_object.begin(), result.group_of_object.end(),
+              0);
+  } else {
+    TOPOMAP_REQUIRE(config.partitioner != nullptr,
+                    "pipeline needs a partitioner when objects > processors");
+    result.group_of_object =
+        config.partitioner->partition(objects, p, rng).assignment;
+  }
+  result.edge_cut_bytes = part::edge_cut(objects, result.group_of_object);
+  result.load_imbalance =
+      part::load_imbalance(objects, result.group_of_object, p);
+
+  // --- Phase 2: map the quotient graph onto the processors. ---
+  const graph::TaskGraph quotient =
+      (n == p) ? graph::TaskGraph{}
+               : graph::quotient_graph(objects, result.group_of_object, p);
+  const graph::TaskGraph& groups = (n == p) ? objects : quotient;
+  result.quotient_avg_degree = graph::average_degree(groups);
+
+  result.group_mapping = config.mapper->map(groups, topo, rng);
+  if (config.refine_passes > 0) {
+    result.group_mapping =
+        core::refine_mapping(groups, topo, result.group_mapping,
+                             config.refine_passes)
+            .mapping;
+  }
+
+  result.hop_bytes = core::hop_bytes(groups, topo, result.group_mapping);
+  result.hops_per_byte =
+      core::hops_per_byte(groups, topo, result.group_mapping);
+
+  // --- Compose: object -> group -> processor. ---
+  result.object_to_proc.resize(static_cast<std::size_t>(n));
+  for (int obj = 0; obj < n; ++obj)
+    result.object_to_proc[static_cast<std::size_t>(obj)] =
+        result.group_mapping[static_cast<std::size_t>(
+            result.group_of_object[static_cast<std::size_t>(obj)])];
+  return result;
+}
+
+PipelineResult replay_database(const LBDatabase& db,
+                               const topo::Topology& topo,
+                               const PipelineConfig& config, Rng& rng) {
+  return run_two_phase(db.to_task_graph(), topo, config, rng);
+}
+
+}  // namespace topomap::rts

@@ -1,0 +1,55 @@
+// Two-phase load-balancing pipeline (paper §4): partition the measured
+// object graph into p balanced groups (phase 1, METIS-style), then map the
+// p-vertex quotient graph onto the p processors with a topology-aware
+// strategy (phase 2), optionally followed by RefineTopoLB.
+#pragma once
+
+#include "core/mapping.hpp"
+#include "core/strategy.hpp"
+#include "graph/task_graph.hpp"
+#include "partition/partition.hpp"
+#include "runtime/lb_database.hpp"
+#include "support/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace topomap::rts {
+
+struct PipelineConfig {
+  /// Phase 1.  Ignored when the object count already equals the processor
+  /// count (no clustering needed, paper §5.2).
+  part::PartitionerPtr partitioner;
+  /// Phase 2 mapping strategy.
+  core::StrategyPtr mapper;
+  /// Extra RefineTopoLB sweeps after mapping (0 = none).
+  int refine_passes = 0;
+};
+
+struct PipelineResult {
+  /// Final object placement: object -> processor.
+  std::vector<int> object_to_proc;
+  /// Phase-1 group of each object.
+  std::vector<int> group_of_object;
+  /// Phase-2 mapping: group -> processor.
+  core::Mapping group_mapping;
+
+  // Quality metrics, all measured on the quotient (group) graph.
+  double hop_bytes = 0.0;
+  double hops_per_byte = 0.0;
+  double edge_cut_bytes = 0.0;      ///< phase-1 inter-group bytes
+  double load_imbalance = 1.0;      ///< max/avg group load
+  double quotient_avg_degree = 0.0; ///< paper §5.2.3 reports this
+};
+
+/// Run the two-phase pipeline on an object graph.
+/// Requires objects >= processors.
+PipelineResult run_two_phase(const graph::TaskGraph& objects,
+                             const topo::Topology& topo,
+                             const PipelineConfig& config, Rng& rng);
+
+/// Convenience: measure `db`'s task graph, then run the pipeline — the
+/// paper's +LBSim replay step.
+PipelineResult replay_database(const LBDatabase& db,
+                               const topo::Topology& topo,
+                               const PipelineConfig& config, Rng& rng);
+
+}  // namespace topomap::rts

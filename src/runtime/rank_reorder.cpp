@@ -1,0 +1,85 @@
+#include "runtime/rank_reorder.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace topomap::rts {
+
+graph::TaskGraph read_comm_matrix(std::istream& is) {
+  std::string keyword;
+  int n = 0;
+  is >> keyword >> n;
+  TOPOMAP_REQUIRE(is && keyword == "ranks" && n >= 1,
+                  "comm matrix must start with 'ranks N'");
+  std::vector<double> matrix(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n));
+  for (auto& cell : matrix) {
+    is >> cell;
+    TOPOMAP_REQUIRE(static_cast<bool>(is), "comm matrix truncated");
+    TOPOMAP_REQUIRE(cell >= 0.0, "comm matrix entries must be >= 0");
+  }
+  graph::TaskGraph::Builder b("ranks(" + std::to_string(n) + ")");
+  b.add_vertices(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double bytes =
+          matrix[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] +
+          matrix[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)];
+      if (bytes > 0.0) b.add_edge(i, j, bytes);
+    }
+  }
+  return std::move(b).build();
+}
+
+graph::TaskGraph read_comm_matrix_file(const std::string& path) {
+  std::ifstream in(path);
+  TOPOMAP_REQUIRE(static_cast<bool>(in), "cannot open comm matrix: " + path);
+  return read_comm_matrix(in);
+}
+
+void write_comm_matrix(std::ostream& os, const graph::TaskGraph& g) {
+  const int n = g.num_vertices();
+  os << "ranks " << n << '\n';
+  os << std::setprecision(17);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Split each undirected edge's bytes evenly across both directions.
+      const double bytes = (i == j) ? 0.0 : g.edge_bytes(i, j) / 2.0;
+      os << (j ? " " : "") << bytes;
+    }
+    os << '\n';
+  }
+}
+
+core::Mapping reorder_ranks(const graph::TaskGraph& ranks,
+                            const topo::Topology& topo,
+                            const core::MappingStrategy& strategy, Rng& rng) {
+  TOPOMAP_REQUIRE(ranks.num_vertices() == topo.size(),
+                  "need exactly one rank per processor");
+  return strategy.map(ranks, topo, rng);
+}
+
+void write_rank_mapping(std::ostream& os, const core::Mapping& m) {
+  for (std::size_t rank = 0; rank < m.size(); ++rank)
+    os << rank << ' ' << m[rank] << '\n';
+}
+
+core::Mapping read_rank_mapping(std::istream& is) {
+  core::Mapping m;
+  std::size_t rank = 0;
+  std::size_t expected = 0;
+  int proc = 0;
+  while (is >> rank >> proc) {
+    TOPOMAP_REQUIRE(rank == expected, "rank mapping out of order");
+    m.push_back(proc);
+    ++expected;
+  }
+  TOPOMAP_REQUIRE(!m.empty(), "empty rank mapping");
+  return m;
+}
+
+}  // namespace topomap::rts

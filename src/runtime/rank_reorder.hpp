@@ -1,0 +1,49 @@
+// AMPI-style rank reordering (paper abstract: the strategies are available
+// "to many applications written using Charm++ as well as MPI").
+//
+// MPI applications do not migrate objects, but they can permute the
+// rank -> processor binding at startup (a rankfile / MPICH_RANK_REORDER).
+// This facade takes a measured rank-to-rank communication matrix, runs any
+// topomap strategy, and emits the permutation — the standard way
+// topology-aware mapping reaches plain MPI codes.
+//
+// Matrix file format (whitespace-separated):
+//   ranks N
+//   N x N doubles, entry (i, j) = bytes rank i sent to rank j
+// The matrix is symmetrised (bytes(i,j) + bytes(j,i) per undirected pair);
+// the diagonal is ignored.
+//
+// Output format (one line per rank): "rank processor".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mapping.hpp"
+#include "core/strategy.hpp"
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace topomap::rts {
+
+/// Parse a rank communication matrix into a task graph (ranks = vertices,
+/// unit compute weights).  Throws precondition_error on malformed input.
+graph::TaskGraph read_comm_matrix(std::istream& is);
+graph::TaskGraph read_comm_matrix_file(const std::string& path);
+
+/// Write a dense communication matrix for a task graph (for round-trips
+/// and for exporting instrumented runs to external tools).
+void write_comm_matrix(std::ostream& os, const graph::TaskGraph& g);
+
+/// Compute the rank -> processor permutation with `strategy`.
+/// Requires one rank per processor.
+core::Mapping reorder_ranks(const graph::TaskGraph& ranks,
+                            const topo::Topology& topo,
+                            const core::MappingStrategy& strategy, Rng& rng);
+
+/// Serialise / parse the "rank processor" mapping file.
+void write_rank_mapping(std::ostream& os, const core::Mapping& m);
+core::Mapping read_rank_mapping(std::istream& is);
+
+}  // namespace topomap::rts

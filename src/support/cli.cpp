@@ -1,0 +1,138 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", "print this help text");
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  TOPOMAP_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{help, "false", /*is_flag=*/true, false};
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  TOPOMAP_REQUIRE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{help, default_value, /*is_flag=*/false, false};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "topomap-bin";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected positional argument: " << arg << "\n"
+                << usage();
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::cerr << "unknown option: --" << arg << "\n" << usage();
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      if (has_value) {
+        std::cerr << "flag --" << arg << " does not take a value\n";
+        return false;
+      }
+      opt.value = "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::cerr << "option --" << arg << " needs a value\n";
+          return false;
+        }
+        value = argv[++i];
+      }
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  if (flag("help")) {
+    std::cout << usage();
+    return false;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name) const {
+  auto it = options_.find(name);
+  TOPOMAP_REQUIRE(it != options_.end(), "option was never registered: " + name);
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return lookup(name).value == "true";
+}
+
+std::string CliParser::str(const std::string& name) const {
+  return lookup(name).value;
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  TOPOMAP_REQUIRE(pos == v.size(), "option --" + name + " is not an integer");
+  return out;
+}
+
+double CliParser::real(const std::string& name) const {
+  const std::string& v = lookup(name).value;
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  TOPOMAP_REQUIRE(pos == v.size(), "option --" + name + " is not a number");
+  return out;
+}
+
+std::vector<std::int64_t> CliParser::int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(lookup(name).value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+std::vector<double> CliParser::real_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(lookup(name).value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nusage: " << program_ << " [options]\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) os << "=<" << opt.value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace topomap

@@ -1,0 +1,54 @@
+// Minimal command-line option parsing for bench/example binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+// Unknown options are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace topomap {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Register options before calling parse(). `help` appears in usage().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on a
+  /// malformed/unknown option.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. `--sizes=64,256,1024`.
+  std::vector<std::int64_t> int_list(const std::string& name) const;
+  std::vector<double> real_list(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  const Option& lookup(const std::string& name) const;
+
+  std::string description_;
+  std::string program_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace topomap

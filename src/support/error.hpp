@@ -1,0 +1,59 @@
+// Error-handling helpers shared by all topomap libraries.
+//
+// Library code never calls abort()/assert(); precondition violations throw
+// std::invalid_argument and internal invariant violations throw
+// std::logic_error, so callers (tests, long-running harnesses) can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace topomap {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a topomap bug, not a user bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": precondition failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": invariant failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace topomap
+
+/// Validate a caller-supplied argument; throws topomap::precondition_error.
+#define TOPOMAP_REQUIRE(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::topomap::detail::throw_precondition(#expr, __FILE__, __LINE__,      \
+                                            (msg));                        \
+  } while (false)
+
+/// Check an internal invariant; throws topomap::invariant_error.
+#define TOPOMAP_ASSERT(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::topomap::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

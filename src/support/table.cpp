@@ -1,0 +1,99 @@
+#include "support/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap {
+
+Table::Table(std::string title, std::vector<std::string> columns,
+             int precision)
+    : title_(std::move(title)),
+      columns_(std::move(columns)),
+      precision_(precision) {
+  TOPOMAP_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<TableCell> cells) {
+  TOPOMAP_REQUIRE(cells.size() == columns_.size(),
+                  "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const TableCell& cell) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(precision_)
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rendered) print_row(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string e = "\"";
+    for (char ch : s) {
+      if (ch == '"') e += '"';
+      e += ch;
+    }
+    e += '"';
+    return e;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c ? "," : "") << escape(columns_[c]);
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "");
+      if (const auto* s = std::get_if<std::string>(&row[c]))
+        out << escape(*s);
+      else
+        out << format_cell(row[c]);
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace topomap

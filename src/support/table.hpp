@@ -1,0 +1,45 @@
+// Aligned-table and CSV emission for bench harnesses.
+//
+// Every experiment binary prints a human-readable aligned table to stdout
+// (the "same rows the paper reports") and can mirror the rows to a CSV file
+// for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace topomap {
+
+/// A cell is a string, integer, or double (formatted with fixed precision).
+using TableCell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  /// @param title      printed above the table
+  /// @param columns    header names
+  /// @param precision  digits after the decimal point for double cells
+  Table(std::string title, std::vector<std::string> columns, int precision = 3);
+
+  void add_row(std::vector<TableCell> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render an aligned table (with title and header rule) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Write the rows as CSV (header + data) to `path`. Returns false on I/O
+  /// failure — benches treat that as a warning, not a fatal error.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const TableCell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_;
+};
+
+}  // namespace topomap

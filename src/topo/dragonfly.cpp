@@ -1,0 +1,39 @@
+#include "topo/dragonfly.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::topo {
+
+GraphTopology make_dragonfly(int routers_per_group) {
+  const int a = routers_per_group;
+  TOPOMAP_REQUIRE(a >= 2, "dragonfly needs at least two routers per group");
+  const int groups = a + 1;
+  const int n = a * groups;
+  TOPOMAP_REQUIRE(n <= 20000, "dragonfly too large");
+
+  auto node = [a](int group, int router) { return group * a + router; };
+  std::vector<std::pair<int, int>> links;
+  // Intra-group all-to-all.
+  for (int grp = 0; grp < groups; ++grp)
+    for (int i = 0; i < a; ++i)
+      for (int j = i + 1; j < a; ++j)
+        links.emplace_back(node(grp, i), node(grp, j));
+  // One global link per group pair; router slot chosen so every router
+  // terminates exactly one global link: group i reaches group k (k != i)
+  // through its local router (k - i - 1) mod groups, which ranges over
+  // exactly {0, ..., a-1} as k runs over the other a groups.
+  for (int i = 0; i < groups; ++i) {
+    for (int k = i + 1; k < groups; ++k) {
+      const int ri = ((k - i - 1) % groups + groups) % groups;
+      const int rk = ((i - k - 1) % groups + groups) % groups;
+      links.emplace_back(node(i, ri), node(k, rk));
+    }
+  }
+  std::ostringstream label;
+  label << "dragonfly(a=" << a << ",g=" << groups << ')';
+  return GraphTopology(n, links, label.str());
+}
+
+}  // namespace topomap::topo

@@ -1,0 +1,21 @@
+// Canonical 1D dragonfly topology builder (extension beyond the paper).
+//
+// a routers per group, all-to-all within a group; g = a+1 groups; exactly
+// one global link between every pair of groups, attached so that each
+// router carries exactly one global link.  Diameter 3 (local, global,
+// local).  Dragonflies are the modern counterpoint to the paper's
+// torus-centric argument: with rich global wiring, random placement costs
+// far less — which our strategy benches can now quantify directly.
+//
+// Returned as a GraphTopology (BFS distances, generic routes), so every
+// strategy and the network simulator work on it unchanged.
+#pragma once
+
+#include "topo/graph_topology.hpp"
+
+namespace topomap::topo {
+
+/// @param routers_per_group  a >= 2; size() = a * (a + 1)
+GraphTopology make_dragonfly(int routers_per_group);
+
+}  // namespace topomap::topo

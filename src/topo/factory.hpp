@@ -1,0 +1,31 @@
+// String-spec topology factory, used by benches/examples so sweeps can name
+// machines on the command line, plus shape helpers for building square tori
+// and near-cubic meshes of a given processor count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace topomap::topo {
+
+/// Parse a topology spec and construct it:
+///   "torus:8x8x8"     3D torus with those extents
+///   "mesh:16x16"      2D mesh
+///   "hybrid:8wx8o"    per-dimension wrap (w) / open (o) suffixes
+///   "hypercube:6"     2^6-node hypercube
+///   "fattree:4x3"     arity-4, 3-level fat tree (64 leaves)
+///   "dragonfly:8"     8 routers/group, 9 groups (72 nodes)
+/// Throws precondition_error on malformed specs.
+TopologyPtr make_topology(const std::string& spec);
+
+/// Factor p into the most-cubic d-dimensional box (extents sorted
+/// descending, product exactly p).  Throws if p < 1.
+std::vector<int> balanced_dims(int p, int num_dims);
+
+/// True if p has an integral square / cube root.
+bool is_perfect_square(int p);
+bool is_perfect_cube(int p);
+
+}  // namespace topomap::topo

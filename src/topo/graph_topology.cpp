@@ -1,0 +1,93 @@
+#include "topo/graph_topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace topomap::topo {
+
+namespace {
+constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+}  // namespace
+
+GraphTopology::GraphTopology(int num_nodes,
+                             const std::vector<std::pair<int, int>>& edges,
+                             std::string label)
+    : num_nodes_(num_nodes), label_(std::move(label)) {
+  TOPOMAP_REQUIRE(num_nodes >= 1, "graph topology needs >= 1 node");
+  TOPOMAP_REQUIRE(num_nodes <= 20000,
+                  "graph topology too large for dense distance matrix");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+  std::set<std::pair<int, int>> seen;
+  for (auto [a, b] : edges) {
+    TOPOMAP_REQUIRE(a >= 0 && a < num_nodes && b >= 0 && b < num_nodes,
+                    "edge endpoint out of range");
+    TOPOMAP_REQUIRE(a != b, "self-loop links are not allowed");
+    auto key = std::minmax(a, b);
+    TOPOMAP_REQUIRE(seen.insert(key).second, "duplicate link");
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+  build_distances();
+}
+
+GraphTopology GraphTopology::from_topology(const Topology& other) {
+  std::vector<std::pair<int, int>> edges;
+  for (int p = 0; p < other.size(); ++p)
+    for (int q : other.neighbors(p))
+      if (p < q) edges.emplace_back(p, q);
+  return GraphTopology(other.size(), edges, "graph[" + other.name() + "]");
+}
+
+void GraphTopology::build_distances() {
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  dist_.assign(n * n, kUnreached);
+  mean_dist_.assign(n, 0.0);
+  std::deque<int> frontier;
+  for (std::size_t src = 0; src < n; ++src) {
+    auto* row = &dist_[src * n];
+    row[src] = 0;
+    frontier.clear();
+    frontier.push_back(static_cast<int>(src));
+    long long total = 0;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop_front();
+      const int du = row[static_cast<std::size_t>(u)];
+      for (int v : adj_[static_cast<std::size_t>(u)]) {
+        if (row[static_cast<std::size_t>(v)] != kUnreached) continue;
+        row[static_cast<std::size_t>(v)] = static_cast<std::uint16_t>(du + 1);
+        total += du + 1;
+        diameter_ = std::max(diameter_, du + 1);
+        frontier.push_back(v);
+      }
+    }
+    for (std::size_t q = 0; q < n; ++q)
+      TOPOMAP_REQUIRE(row[q] != kUnreached, "topology graph is disconnected");
+    mean_dist_[src] = static_cast<double>(total) / static_cast<double>(n);
+  }
+}
+
+int GraphTopology::distance(int a, int b) const {
+  check_node(a);
+  check_node(b);
+  return dist_[static_cast<std::size_t>(a) *
+                   static_cast<std::size_t>(num_nodes_) +
+               static_cast<std::size_t>(b)];
+}
+
+std::vector<int> GraphTopology::neighbors(int p) const {
+  check_node(p);
+  return adj_[static_cast<std::size_t>(p)];
+}
+
+double GraphTopology::mean_distance_from(int p) const {
+  check_node(p);
+  return mean_dist_[static_cast<std::size_t>(p)];
+}
+
+}  // namespace topomap::topo

@@ -1,0 +1,48 @@
+// Arbitrary-graph topology backed by an explicit adjacency list.
+//
+// Distances come from an all-pairs BFS matrix built at construction
+// (O(p*(p+|E|)) time, O(p^2) * 2 bytes memory), so it is intended for
+// irregular or user-supplied networks of up to a few thousand processors.
+// Also serves as the oracle against which closed-form topologies are tested.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace topomap::topo {
+
+class GraphTopology final : public Topology {
+ public:
+  /// @param num_nodes  processor count
+  /// @param edges      undirected links (a, b); duplicates and self-loops
+  ///                   are rejected. The graph must be connected.
+  /// @param label      name() for diagnostics
+  GraphTopology(int num_nodes, const std::vector<std::pair<int, int>>& edges,
+                std::string label = "graph");
+
+  /// Deep-copy any topology into an explicit graph (adjacency taken from
+  /// neighbors()); distances are recomputed by BFS.
+  static GraphTopology from_topology(const Topology& other);
+
+  int size() const override { return num_nodes_; }
+  int distance(int a, int b) const override;
+  std::vector<int> neighbors(int p) const override;
+  std::string name() const override { return label_; }
+  int diameter() const override { return diameter_; }
+  double mean_distance_from(int p) const override;
+
+ private:
+  void build_distances();
+
+  int num_nodes_;
+  std::string label_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::uint16_t> dist_;  // row-major p x p
+  std::vector<double> mean_dist_;    // per-node mean distance
+  int diameter_ = 0;
+};
+
+}  // namespace topomap::topo

@@ -1,0 +1,74 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace topomap::topo {
+
+void Topology::check_node(int p) const {
+  TOPOMAP_REQUIRE(p >= 0 && p < size(), "processor index out of range");
+}
+
+double Topology::mean_distance_from(int p) const {
+  check_node(p);
+  const int n = size();
+  long long total = 0;
+  for (int q = 0; q < n; ++q) total += distance(p, q);
+  return static_cast<double>(total) / static_cast<double>(n);
+}
+
+double Topology::mean_pairwise_distance() const {
+  const int n = size();
+  double total = 0.0;
+  for (int p = 0; p < n; ++p) total += mean_distance_from(p);
+  return total / static_cast<double>(n);
+}
+
+int Topology::diameter() const {
+  const int n = size();
+  int best = 0;
+  for (int p = 0; p < n; ++p)
+    for (int q = p + 1; q < n; ++q) best = std::max(best, distance(p, q));
+  return best;
+}
+
+std::vector<int> Topology::route(int a, int b) const { return bfs_route(a, b); }
+
+std::vector<int> Topology::bfs_route(int a, int b) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return {a};
+  std::vector<int> parent(static_cast<std::size_t>(size()), -1);
+  std::deque<int> frontier{a};
+  parent[static_cast<std::size_t>(a)] = a;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    for (int v : neighbors(u)) {
+      if (parent[static_cast<std::size_t>(v)] != -1) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      if (v == b) {
+        std::vector<int> path{b};
+        for (int cur = b; cur != a;) {
+          cur = parent[static_cast<std::size_t>(cur)];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  TOPOMAP_ASSERT(false, "topology graph is disconnected");
+}
+
+int Topology::directed_link_count() const {
+  int count = 0;
+  for (int p = 0; p < size(); ++p)
+    count += static_cast<int>(neighbors(p).size());
+  return count;
+}
+
+}  // namespace topomap::topo

@@ -1,0 +1,62 @@
+// Abstract network-topology interface.
+//
+// A topology is the undirected "topology graph" G_p = (V_p, E_p) of the
+// paper: vertices are processors 0..size()-1, edges are physical links.
+// Mapping strategies only need shortest-path hop distances; the network
+// simulator and link-load metrics additionally need concrete routes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace topomap::topo {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of processors p = |V_p|.
+  virtual int size() const = 0;
+
+  /// Shortest-path distance in hops between processors a and b.
+  /// distance(a, a) == 0 for all a.
+  virtual int distance(int a, int b) const = 0;
+
+  /// Directly linked processors of p (the adjacency of G_p).
+  virtual std::vector<int> neighbors(int p) const = 0;
+
+  /// Human-readable shape, e.g. "torus(8,8,8)".
+  virtual std::string name() const = 0;
+
+  /// Mean hop distance from p to every processor, self included:
+  /// (1/|V_p|) * sum_q d(p, q).  This is the second-order expected-distance
+  /// term of TopoLB.  Concrete topologies override with closed forms; the
+  /// default loops over all processors.
+  virtual double mean_distance_from(int p) const;
+
+  /// Mean distance between two independently-uniform processors (self pairs
+  /// included) — the paper's E[hops] for random placement.
+  virtual double mean_pairwise_distance() const;
+
+  /// Maximum distance between any pair of processors.
+  virtual int diameter() const;
+
+  /// The route a message from a to b takes, as the node sequence
+  /// [a, ..., b] (length distance(a,b)+1).  Deterministic; grid topologies
+  /// use dimension-ordered routing.  Used for per-link load accounting and
+  /// by the network simulator.
+  virtual std::vector<int> route(int a, int b) const;
+
+  /// Number of directed links (each undirected link counts twice).
+  int directed_link_count() const;
+
+ protected:
+  /// BFS shortest path from a to b over neighbors(); default route() impl.
+  std::vector<int> bfs_route(int a, int b) const;
+  void check_node(int p) const;
+};
+
+using TopologyPtr = std::shared_ptr<const Topology>;
+
+}  // namespace topomap::topo

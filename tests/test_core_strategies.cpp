@@ -1,0 +1,248 @@
+// Mapping-strategy tests: bijectivity invariants across families (TEST_P),
+// paper-shape quality checks, refiner monotonicity, factory parsing.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/baseline_lb.hpp"
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "core/topo_cent_lb.hpp"
+#include "core/topo_lb.hpp"
+#include "graph/builders.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::core {
+namespace {
+
+using graph::stencil_2d;
+using graph::TaskGraph;
+using topo::make_topology;
+using topo::TorusMesh;
+
+TEST(TopoLB, MapsStencilOntoMatchingTorusNearOptimally) {
+  // Paper Fig. 2: TopoLB maps a 2D-mesh pattern onto a 2D-torus of the same
+  // size almost optimally (hops-per-byte ~= 1).
+  const auto g = stencil_2d(8, 8, 1.0);
+  const TorusMesh t = TorusMesh::torus({8, 8});
+  Rng rng(1);
+  const Mapping m = TopoLB().map(g, t, rng);
+  EXPECT_TRUE(is_one_to_one(m, t));
+  const double hpb = hops_per_byte(g, t, m);
+  EXPECT_LT(hpb, 1.6);  // near-optimal; random would be ~4.0
+  EXPECT_LT(hpb, expected_random_hops(t) / 2.0);
+}
+
+TEST(TopoLB, SubgraphCaseMeshIntoLargerTorus) {
+  // Paper Fig. 4: an (8,8) 2D-mesh is a subgraph of a (4,4,4) 3D-torus, so
+  // hops-per-byte can reach 1; TopoLB gets close.
+  const auto g = stencil_2d(8, 8, 1.0);
+  const auto t = make_topology("torus:4x4x4");
+  Rng rng(1);
+  const Mapping m = TopoLB().map(g, *t, rng);
+  const double hpb = hops_per_byte(g, *t, m);
+  EXPECT_LT(hpb, 1.8);
+  EXPECT_LT(hpb, expected_random_hops(*t) / 1.5);
+}
+
+TEST(TopoLB, AllOrdersProduceValidMappings) {
+  const auto g = stencil_2d(6, 6, 1.0);
+  const TorusMesh t = TorusMesh::torus({6, 6});
+  Rng rng(1);
+  for (EstimationOrder order : {EstimationOrder::kFirst,
+                                EstimationOrder::kSecond,
+                                EstimationOrder::kThird}) {
+    const Mapping m = TopoLB(order).map(g, t, rng);
+    EXPECT_TRUE(is_one_to_one(m, t));
+    EXPECT_LT(hops_per_byte(g, t, m), expected_random_hops(t));
+  }
+}
+
+TEST(TopoLB, DeterministicAcrossCalls) {
+  const auto g = stencil_2d(5, 5, 1.0);
+  const TorusMesh t = TorusMesh::torus({5, 5});
+  Rng r1(1), r2(999);  // rng is unused by TopoLB; results must match anyway
+  EXPECT_EQ(TopoLB().map(g, t, r1), TopoLB().map(g, t, r2));
+}
+
+TEST(TopoLB, RequiresSquareProblem) {
+  const auto g = stencil_2d(3, 3, 1.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(1);
+  EXPECT_THROW(TopoLB().map(g, t, rng), precondition_error);
+}
+
+TEST(TopoLB, HandlesGraphWithIsolatedVertices) {
+  TaskGraph::Builder b("sparse");
+  b.add_vertices(9);
+  b.add_edge(0, 1, 5.0);
+  b.add_edge(1, 2, 5.0);
+  const TaskGraph g = std::move(b).build();
+  const TorusMesh t = TorusMesh::torus({3, 3});
+  Rng rng(1);
+  const Mapping m = TopoLB().map(g, t, rng);
+  EXPECT_TRUE(is_one_to_one(m, t));
+  // The two communicating edges should land at distance 1.
+  EXPECT_DOUBLE_EQ(hops_per_byte(g, t, m), 1.0);
+}
+
+TEST(TopoCentLB, QualityBetweenRandomAndTopoLB) {
+  // Paper: TopoCentLB also produces small hops-per-byte, ~10% above TopoLB.
+  const auto g = stencil_2d(10, 10, 1.0);
+  const TorusMesh t = TorusMesh::torus({10, 10});
+  Rng rng(1);
+  const double cent = hops_per_byte(g, t, TopoCentLB().map(g, t, rng));
+  const double rand = expected_random_hops(t);  // 5.0
+  EXPECT_LT(cent, rand / 2.0);
+}
+
+TEST(TopoCentLB, PlacesHeaviestCommunicatorFirstSensibly) {
+  // A star graph: the hub must end adjacent to all placed leaves early on;
+  // every leaf of a 5-node star fits within distance 1 on a 5-node ring? No
+  // — just assert validity and that hop-bytes beat the worst case.
+  TaskGraph::Builder b("star");
+  b.add_vertices(9);
+  for (int leaf = 1; leaf < 9; ++leaf) b.add_edge(0, leaf, 10.0);
+  const TaskGraph g = std::move(b).build();
+  const TorusMesh t = TorusMesh::torus({3, 3});
+  Rng rng(1);
+  const Mapping m = TopoCentLB().map(g, t, rng);
+  EXPECT_TRUE(is_one_to_one(m, t));
+  // On a 3x3 torus every node pair is within 2 hops; a star hub with its 4
+  // direct neighbours occupied by leaves gives hop-bytes 4*1 + 4*2 = 12
+  // edges-bytes... just require better than the 2-hops-everywhere bound.
+  EXPECT_LT(hop_bytes(g, t, m), 2.0 * g.total_comm_bytes());
+}
+
+TEST(Baselines, RandomLBIsSeededBijection) {
+  const auto g = stencil_2d(6, 6, 1.0);
+  const TorusMesh t = TorusMesh::torus({6, 6});
+  Rng a(7), b(7), c(8);
+  const Mapping ma = RandomLB().map(g, t, a);
+  EXPECT_TRUE(is_one_to_one(ma, t));
+  EXPECT_EQ(ma, RandomLB().map(g, t, b));
+  EXPECT_NE(ma, RandomLB().map(g, t, c));
+}
+
+TEST(Baselines, GreedyLBBalancesOneTaskPerProcessor) {
+  const auto g = stencil_2d(4, 4, 1.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(3);
+  EXPECT_TRUE(is_one_to_one(GreedyLB().map(g, t, rng), t));
+}
+
+TEST(Refine, NeverWorsensAndFixesObviousSwap) {
+  // Ring of 4 on a 2x2 torus mapped crosswise; refinement must reach the
+  // optimum where every ring edge is one hop.
+  const auto g = graph::ring(4, 10.0);
+  const TorusMesh t = TorusMesh::torus({2, 2});
+  const Mapping bad{0, 3, 1, 2};  // neighbours placed diagonally
+  const RefineResult r = refine_mapping(g, t, bad);
+  EXPECT_LE(r.hop_bytes_after, r.hop_bytes_before);
+  EXPECT_DOUBLE_EQ(r.hop_bytes_after, g.total_comm_bytes());  // all 1 hop
+  EXPECT_GT(r.swaps, 0);
+}
+
+TEST(Refine, SwapDeltaMatchesBruteForce) {
+  Rng rng(11);
+  const auto g = graph::random_graph(20, 0.3, 1.0, 8.0, rng);
+  const TorusMesh t = TorusMesh::torus({4, 5});
+  Mapping m = rng.permutation(20);
+  const double before = hop_bytes(g, t, m);
+  for (int a = 0; a < 20; ++a) {
+    for (int b = a + 1; b < 20; ++b) {
+      const double delta = swap_delta(g, t, m, a, b);
+      Mapping swapped = m;
+      std::swap(swapped[a], swapped[b]);
+      EXPECT_NEAR(before + delta, hop_bytes(g, t, swapped), 1e-6)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Refine, ImprovesRandomSubstantially) {
+  const auto g = stencil_2d(8, 8, 1.0);
+  const TorusMesh t = TorusMesh::torus({8, 8});
+  Rng rng(2);
+  const Mapping random = RandomLB().map(g, t, rng);
+  const RefineResult r = refine_mapping(g, t, random, 16);
+  EXPECT_LT(r.hop_bytes_after, 0.7 * r.hop_bytes_before);
+}
+
+TEST(Factory, BuildsEveryStrategyAndRefinedVariants) {
+  const auto g = stencil_2d(4, 4, 1.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(1);
+  for (const char* spec : {"random", "greedy", "topocent", "topolb",
+                           "topolb1", "topolb3", "topolb+refine",
+                           "topocent+refine", "random+refine"}) {
+    const StrategyPtr s = make_strategy(spec);
+    ASSERT_NE(s, nullptr) << spec;
+    EXPECT_TRUE(is_one_to_one(s->map(g, t, rng), t)) << spec;
+    EXPECT_FALSE(s->name().empty());
+  }
+  EXPECT_THROW(make_strategy("does-not-exist"), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every strategy yields a bijection on every (graph,
+// topology, seed) combination, and the topology-aware strategies never lose
+// to the expected random placement on stencil workloads.
+// ---------------------------------------------------------------------------
+class StrategyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*, int>> {
+};
+
+TEST_P(StrategyPropertyTest, ProducesBijectionAndSaneQuality) {
+  const auto [strategy_spec, topo_spec, seed] = GetParam();
+  const auto t = make_topology(topo_spec);
+  Rng graph_rng(static_cast<std::uint64_t>(seed));
+  // A mixed workload with the same vertex count as the topology.
+  const TaskGraph g =
+      graph::random_graph(t->size(), 3.0 / t->size() + 0.08, 1.0, 64.0,
+                          graph_rng, /*require_connected=*/false);
+  const StrategyPtr s = make_strategy(strategy_spec);
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const Mapping m = s->map(g, *t, rng);
+  ASSERT_TRUE(is_one_to_one(m, *t));
+  const double hpb = hops_per_byte(g, *t, m);
+  EXPECT_GE(hpb, 0.0);
+  EXPECT_LE(hpb, static_cast<double>(t->diameter()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrategyPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("random", "greedy", "topocent", "topolb", "topolb1",
+                          "topolb3", "topolb+refine"),
+        ::testing::Values("torus:4x4", "mesh:5x3", "torus:3x3x3",
+                          "hypercube:4", "fattree:3x2"),
+        ::testing::Values(1, 2, 3)));
+
+// Topology-aware strategies must clearly beat random placement on stencil
+// communication across torus shapes (the paper's central claim).
+class BeatsRandomTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(BeatsRandomTest, TopologyAwareBeatsRandomOnStencils) {
+  const auto [strategy_spec, side] = GetParam();
+  const auto g = stencil_2d(side, side, 1.0);
+  const TorusMesh t = TorusMesh::torus({side, side});
+  Rng rng(42);
+  const StrategyPtr s = make_strategy(strategy_spec);
+  const double hpb = hops_per_byte(g, t, s->map(g, t, rng));
+  EXPECT_LT(hpb, 0.55 * expected_random_hops(t))
+      << strategy_spec << " side=" << side;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BeatsRandomTest,
+    ::testing::Combine(::testing::Values("topocent", "topolb", "topolb1",
+                                         "topolb3", "topolb+refine"),
+                       ::testing::Values(6, 8, 10)));
+
+}  // namespace
+}  // namespace topomap::core

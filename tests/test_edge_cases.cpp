@@ -1,0 +1,225 @@
+// Edge-case sweep across all modules: degenerate sizes, extreme shapes,
+// boundary parameters — the inputs a downstream user will eventually feed.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "graph/quotient.hpp"
+#include "netsim/app.hpp"
+#include "partition/partition.hpp"
+#include "support/error.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap {
+namespace {
+
+using core::Mapping;
+using topo::TorusMesh;
+
+// ---------------------------------------------------------------------------
+// Degenerate topologies
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, SingleProcessorMachine) {
+  const TorusMesh t = TorusMesh::torus({1});
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.diameter(), 0);
+  EXPECT_TRUE(t.neighbors(0).empty());
+  EXPECT_DOUBLE_EQ(t.mean_pairwise_distance(), 0.0);
+
+  graph::TaskGraph::Builder b("one");
+  b.add_vertex(1.0);
+  const auto g = std::move(b).build();
+  Rng rng(1);
+  for (const char* spec : {"random", "topocent", "topolb", "recursive"}) {
+    const Mapping m = core::make_strategy(spec)->map(g, t, rng);
+    EXPECT_EQ(m, Mapping{0}) << spec;
+  }
+}
+
+TEST(EdgeCases, OneDimensionalLineAndRing) {
+  const TorusMesh line = TorusMesh::mesh({16});
+  const TorusMesh ringt = TorusMesh::torus({16});
+  EXPECT_EQ(line.diameter(), 15);
+  EXPECT_EQ(ringt.diameter(), 8);
+  const auto g = graph::ring(16, 10.0);
+  Rng rng(2);
+  // On the ring topology, the ring workload embeds at exactly 1 hop/byte.
+  const Mapping m = core::make_strategy("topolb+refine")->map(g, ringt, rng);
+  EXPECT_DOUBLE_EQ(core::hops_per_byte(g, ringt, m), 1.0);
+}
+
+TEST(EdgeCases, ExtremeAspectRatioTorus) {
+  const TorusMesh t = TorusMesh::torus({64, 2});
+  const auto g = graph::stencil_2d(64, 2, 1.0);
+  Rng rng(3);
+  const Mapping m = core::make_strategy("topolb")->map(g, t, rng);
+  EXPECT_TRUE(core::is_one_to_one(m, t));
+  EXPECT_LT(core::hops_per_byte(g, t, m), core::expected_random_hops(t));
+}
+
+TEST(EdgeCases, UnitExtentDimensionsCollapse) {
+  // A (4,1,4) torus behaves exactly like a (4,4) torus.
+  const TorusMesh squeezed = TorusMesh::torus({4, 1, 4});
+  const TorusMesh flat = TorusMesh::torus({4, 4});
+  ASSERT_EQ(squeezed.size(), flat.size());
+  for (int a = 0; a < 16; ++a)
+    for (int b = 0; b < 16; ++b)
+      EXPECT_EQ(squeezed.distance(a, b), flat.distance(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate workloads
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, EdgelessWorkloadMapsWithZeroHopBytes) {
+  graph::TaskGraph::Builder b("silent");
+  b.add_vertices(16, 2.0);
+  const auto g = std::move(b).build();
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(4);
+  for (const char* spec : {"topolb", "topocent", "recursive", "anneal"}) {
+    const Mapping m = core::make_strategy(spec)->map(g, t, rng);
+    EXPECT_TRUE(core::is_one_to_one(m, t)) << spec;
+    EXPECT_DOUBLE_EQ(core::hop_bytes(g, t, m), 0.0) << spec;
+  }
+  EXPECT_DOUBLE_EQ(core::hops_per_byte(g, t, core::identity_mapping(16)), 0.0);
+}
+
+TEST(EdgeCases, CompleteGraphEveryMappingEquallyGood) {
+  // All-to-all uniform traffic: hop-bytes is mapping-invariant, so any
+  // bijection is optimal and equals bytes * mean pairwise distance over
+  // distinct pairs.
+  const auto g = graph::complete(16, 3.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(5);
+  const double a = core::hop_bytes(g, t, core::identity_mapping(16));
+  const double b = core::hop_bytes(g, t, rng.permutation(16));
+  EXPECT_DOUBLE_EQ(a, b);
+  const Mapping m = core::make_strategy("topolb")->map(g, t, rng);
+  EXPECT_DOUBLE_EQ(core::hop_bytes(g, t, m), a);
+}
+
+TEST(EdgeCases, TwoTaskProblems) {
+  graph::TaskGraph::Builder b("pair");
+  b.add_vertices(2, 1.0);
+  b.add_edge(0, 1, 100.0);
+  const auto g = std::move(b).build();
+  const TorusMesh t = TorusMesh::mesh({2});
+  Rng rng(6);
+  for (const char* spec : {"topolb", "topocent", "recursive", "anneal"}) {
+    const Mapping m = core::make_strategy(spec)->map(g, t, rng);
+    EXPECT_DOUBLE_EQ(core::hops_per_byte(g, t, m), 1.0) << spec;
+  }
+}
+
+TEST(EdgeCases, RefinersAcceptAlreadyOptimalInput) {
+  const auto g = graph::stencil_2d(4, 4, 1.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  const auto r = core::refine_mapping(g, t, core::identity_mapping(16), 4);
+  EXPECT_EQ(r.swaps, 0);
+  EXPECT_EQ(r.passes, 1);
+  EXPECT_DOUBLE_EQ(r.hop_bytes_after, r.hop_bytes_before);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning extremes
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, PartitionSingleVertexGraph) {
+  graph::TaskGraph::Builder b("solo");
+  b.add_vertex(5.0);
+  const auto g = std::move(b).build();
+  Rng rng(7);
+  const auto r = part::make_partitioner("multilevel")->partition(g, 1, rng);
+  EXPECT_EQ(r.assignment, std::vector<int>{0});
+}
+
+TEST(EdgeCases, PartitionStarGraphKeepsBalance) {
+  // A star: the hub is heavy; every bisection cuts hub edges.  Balance
+  // must still hold on counts.
+  graph::TaskGraph::Builder b("star");
+  b.add_vertices(33, 1.0);
+  for (int leaf = 1; leaf < 33; ++leaf) b.add_edge(0, leaf, 4.0);
+  const auto g = std::move(b).build();
+  Rng rng(8);
+  const auto r = part::make_partitioner("multilevel")->partition(g, 4, rng);
+  const auto weights = part::part_weights(g, r.assignment, 4);
+  for (double w : weights) EXPECT_GE(w, 4.0);  // no starved part
+}
+
+TEST(EdgeCases, QuotientOfIdentityPartitionIsIsomorphic) {
+  Rng rng(9);
+  const auto g = graph::random_graph(12, 0.4, 1.0, 9.0, rng);
+  std::vector<int> identity(12);
+  for (int i = 0; i < 12; ++i) identity[static_cast<std::size_t>(i)] = i;
+  const auto q = graph::quotient_graph(g, identity, 12);
+  ASSERT_EQ(q.num_edges(), g.num_edges());
+  for (const auto& e : g.edges())
+    EXPECT_DOUBLE_EQ(q.edge_bytes(e.a, e.b), e.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator extremes
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, SingleIterationApp) {
+  const auto g = graph::stencil_2d(3, 3, 50.0);
+  const TorusMesh t = TorusMesh::torus({3, 3});
+  netsim::AppParams app;
+  app.iterations = 1;
+  netsim::NetworkParams net;
+  const auto r = netsim::run_iterative_app(g, t, core::identity_mapping(9),
+                                           app, net);
+  EXPECT_EQ(r.messages, static_cast<std::uint64_t>(2 * g.num_edges()));
+  ASSERT_EQ(r.iteration_complete_us.size(), 1u);
+}
+
+TEST(EdgeCases, ZeroComputeApp) {
+  const auto g = graph::ring(8, 64.0);
+  const TorusMesh t = TorusMesh::torus({8});
+  netsim::AppParams app;
+  app.iterations = 5;
+  app.compute_us = 0.0;
+  netsim::NetworkParams net;
+  const auto r = netsim::run_iterative_app(g, t, core::identity_mapping(8),
+                                           app, net);
+  EXPECT_GT(r.completion_us, 0.0);  // still bounded by message latency
+}
+
+TEST(EdgeCases, TinyPacketsManyPerMessage) {
+  const auto g = graph::ring(4, 1000.0);
+  const TorusMesh t = TorusMesh::torus({4});
+  netsim::AppParams app;
+  app.iterations = 2;
+  netsim::NetworkParams net;
+  net.packet_bytes = 16.0;  // ~32 packets per 500 B message
+  const auto r = netsim::run_iterative_app(g, t, core::identity_mapping(4),
+                                           app, net,
+                                           netsim::ServiceModel::kStoreForward);
+  EXPECT_EQ(r.messages, static_cast<std::uint64_t>(2 * 4 * 2));
+}
+
+TEST(EdgeCases, WeightScaledCompute) {
+  graph::TaskGraph::Builder b("skew");
+  const int heavy = b.add_vertex(10.0);
+  const int light = b.add_vertex(1.0);
+  b.add_edge(heavy, light, 8.0);
+  const auto g = std::move(b).build();
+  const TorusMesh t = TorusMesh::mesh({2});
+  netsim::AppParams app;
+  app.iterations = 3;
+  app.compute_us = 10.0;
+  app.scale_compute_by_weight = true;
+  netsim::NetworkParams net;
+  const auto r = netsim::run_iterative_app(g, t, core::identity_mapping(2),
+                                           app, net);
+  // The heavy task (100 us/iter) gates every iteration.
+  EXPECT_GE(r.completion_us, 3 * 100.0);
+}
+
+}  // namespace
+}  // namespace topomap

@@ -1,0 +1,161 @@
+// Failure injection: degraded links in the network simulator, and the new
+// adversarial communication patterns (transpose, butterfly).
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "graph/builders.hpp"
+#include "netsim/app.hpp"
+#include "netsim/network.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::netsim {
+namespace {
+
+using topo::TorusMesh;
+
+class Recorder final : public SimulationClient {
+ public:
+  void on_delivery(SimTime now, const Message& msg) override {
+    deliveries.emplace_back(now, msg);
+  }
+  void on_app_event(SimTime, std::uint64_t) override {}
+  std::vector<std::pair<SimTime, Message>> deliveries;
+};
+
+NetworkParams params() {
+  NetworkParams p;
+  p.bandwidth = 100.0;
+  p.per_hop_latency_us = 1.0;
+  p.injection_overhead_us = 2.0;
+  return p;
+}
+
+TEST(DegradedLinks, SlowsOnlyTrafficCrossingTheLink) {
+  const TorusMesh t = TorusMesh::mesh({4});
+  Recorder rec;
+  Network net(t, params(), ServiceModel::kWormhole, &rec);
+  net.degrade_link(1, 2, 0.25);  // quarter bandwidth on 1 -> 2
+  net.inject(0.0, 0, 3, 100.0, /*tag=*/1);  // crosses 0->1->2->3
+  net.inject(0.0, 3, 0, 100.0, /*tag=*/2);  // reverse direction: unaffected
+  net.run_until_idle();
+  ASSERT_EQ(rec.deliveries.size(), 2u);
+  // Unaffected: 2 + 3 hops + 1.0 serialisation = 6.0.
+  // Degraded link: last link still nominal, but the head leaves hop 1 on
+  // schedule — with wormhole semantics the head is unaffected and only the
+  // reservation grows; the tail still arrives a nominal serialisation
+  // after the head, so latency is unchanged for an isolated message...
+  // unless a second message queues behind the 4x reservation.
+  const double t1 = rec.deliveries[0].second.tag == 1
+                        ? rec.deliveries[0].first
+                        : rec.deliveries[1].first;
+  const double t2 = rec.deliveries[0].second.tag == 2
+                        ? rec.deliveries[0].first
+                        : rec.deliveries[1].first;
+  EXPECT_NEAR(t2, 6.0, 1e-9);
+  EXPECT_GE(t1, t2 - 1e-9);
+
+  // Now send two messages across the degraded link: the second must wait
+  // the full 4x serialisation (4 us instead of 1 us).
+  Recorder rec2;
+  Network net2(t, params(), ServiceModel::kWormhole, &rec2);
+  net2.degrade_link(1, 2, 0.25);
+  net2.inject(0.0, 1, 2, 100.0, 1);
+  net2.inject(0.0, 1, 2, 100.0, 2);
+  net2.run_until_idle();
+  // The degraded link serialises at 4x: first message delivers at
+  // 2 (inject) + 1 (hop) + 4 (slow serialisation) = 7.0; the second queues
+  // behind the 4 us reservation (head starts at 6): 6 + 1 + 4 = 11.0.
+  EXPECT_NEAR(rec2.deliveries[0].first, 7.0, 1e-9);
+  EXPECT_NEAR(rec2.deliveries[1].first, 11.0, 1e-9);
+}
+
+TEST(DegradedLinks, StoreForwardPacketsSlowDirectly) {
+  const TorusMesh t = TorusMesh::mesh({2});
+  Recorder rec;
+  Network net(t, params(), ServiceModel::kStoreForward, &rec);
+  net.degrade_link(0, 1, 0.5);
+  net.inject(0.0, 0, 1, 100.0, 0);  // one 100B packet... packet_bytes=256
+  net.run_until_idle();
+  // Single packet of 100 bytes at half bandwidth: 2 + 100/100*2 + 1 = 5.0.
+  EXPECT_NEAR(rec.deliveries[0].first, 5.0, 1e-9);
+}
+
+TEST(DegradedLinks, RejectsBadFactor) {
+  const TorusMesh t = TorusMesh::mesh({2});
+  Network net(t, params(), ServiceModel::kWormhole, nullptr);
+  EXPECT_THROW(net.degrade_link(0, 1, 0.0), precondition_error);
+  EXPECT_THROW(net.degrade_link(0, 1, 1.5), precondition_error);
+}
+
+TEST(DegradedLinks, AppLevelResilienceOfGoodMappings) {
+  // Degrade a handful of links: the identity mapping of a stencil uses
+  // each link lightly, so it degrades gracefully; the random mapping
+  // funnels many routes through hot links and suffers more.
+  const auto g = graph::stencil_2d(8, 8, 4000.0);
+  const TorusMesh t = TorusMesh::torus({8, 8});
+  AppParams app;
+  app.iterations = 20;
+  NetworkParams net = params();
+  net.bandwidth = 400.0;
+  std::vector<DegradedLink> degraded;
+  for (int i = 0; i < 8; ++i) degraded.push_back({i, (i + 1) % 8, 0.25});
+
+  Rng rng(7);
+  const core::Mapping ideal = core::identity_mapping(64);
+  const core::Mapping random = rng.permutation(64);
+  const auto ideal_clean = run_iterative_app(g, t, ideal, app, net);
+  const auto ideal_degraded = run_iterative_app(
+      g, t, ideal, app, net, ServiceModel::kWormhole, degraded);
+  const auto random_degraded = run_iterative_app(
+      g, t, random, app, net, ServiceModel::kWormhole, degraded);
+  EXPECT_GE(ideal_degraded.completion_us, ideal_clean.completion_us);
+  EXPECT_GT(random_degraded.completion_us, ideal_degraded.completion_us);
+}
+
+}  // namespace
+}  // namespace topomap::netsim
+
+namespace topomap::graph {
+namespace {
+
+TEST(Patterns, TransposeShape) {
+  const TaskGraph g = transpose(4, 10.0);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 6);  // n*(n-1)/2 off-diagonal pairs
+  EXPECT_TRUE(g.has_edge(1, 4));   // (0,1) <-> (1,0)
+  EXPECT_TRUE(g.has_edge(7, 13));  // (1,3) <-> (3,1)
+  EXPECT_FALSE(g.has_edge(0, 5));  // diagonal tasks are isolated
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_EQ(g.degree(5), 0);
+}
+
+TEST(Patterns, ButterflyShape) {
+  const TaskGraph g = butterfly(3, 8.0);
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.num_edges(), 3 * 4);  // stages * n/2
+  for (int v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Patterns, ButterflyMapsPerfectlyOntoHypercube) {
+  // The butterfly pattern *is* the hypercube adjacency: identity mapping
+  // onto hypercube:3 gives exactly 1 hop per byte.
+  const TaskGraph g = butterfly(3, 8.0);
+  const topo::Hypercube h(3);
+  EXPECT_DOUBLE_EQ(
+      core::hops_per_byte(g, h, core::identity_mapping(8)), 1.0);
+}
+
+TEST(Patterns, RejectsBadArguments) {
+  EXPECT_THROW(transpose(1, 1.0), precondition_error);
+  EXPECT_THROW(butterfly(0, 1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace topomap::graph

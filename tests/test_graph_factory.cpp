@@ -1,0 +1,91 @@
+// Task-graph factory: spec parsing, file round-trips, error diagnosis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "graph/factory.hpp"
+#include "support/error.hpp"
+
+namespace topomap::graph {
+namespace {
+
+TEST(GraphFactory, ParsesEveryKind) {
+  Rng rng(1);
+  EXPECT_EQ(make_task_graph("stencil2d:6x4", rng).num_vertices(), 24);
+  EXPECT_EQ(make_task_graph("stencil3d:2x3x4", rng).num_vertices(), 24);
+  EXPECT_EQ(make_task_graph("ring:9", rng).num_vertices(), 9);
+  EXPECT_EQ(make_task_graph("complete:5", rng).num_edges(), 10);
+  EXPECT_EQ(make_task_graph("transpose:4", rng).num_vertices(), 16);
+  EXPECT_EQ(make_task_graph("butterfly:4", rng).num_vertices(), 16);
+  EXPECT_EQ(make_task_graph("er:30:0.2", rng).num_vertices(), 30);
+  EXPECT_EQ(make_task_graph("rgg:40:0.3", rng).num_vertices(), 40);
+  EXPECT_GT(make_task_graph("md:3x3x3", rng).num_vertices(), 27);
+}
+
+TEST(GraphFactory, BytesParameterHonored) {
+  Rng rng(1);
+  const TaskGraph g = make_task_graph("stencil2d:4x4:512", rng);
+  for (const auto& e : g.edges()) EXPECT_DOUBLE_EQ(e.bytes, 512.0);
+  const TaskGraph d = make_task_graph("ring:5", rng);
+  for (const auto& e : d.edges()) EXPECT_DOUBLE_EQ(e.bytes, 1024.0);
+}
+
+TEST(GraphFactory, MdAtomsParameter) {
+  Rng rng(2);
+  const TaskGraph g = make_task_graph("md:3x3x3:50", rng);
+  // Cell weights ~ atoms; with 50 atoms/cell, cell loads are in
+  // [35, 65] (spread 0.3).
+  for (int c = 0; c < 27; ++c) {
+    EXPECT_GE(g.vertex_weight(c), 35.0 - 1e-9);
+    EXPECT_LE(g.vertex_weight(c), 65.0 + 1e-9);
+  }
+}
+
+TEST(GraphFactory, RejectsMalformedSpecs) {
+  Rng rng(1);
+  EXPECT_THROW(make_task_graph("stencil2d", rng), precondition_error);
+  EXPECT_THROW(make_task_graph("stencil2d:4", rng), precondition_error);
+  EXPECT_THROW(make_task_graph("nope:4x4", rng), precondition_error);
+  EXPECT_THROW(make_task_graph("er:30", rng), precondition_error);
+  EXPECT_THROW(make_task_graph("stencil2d:axb", rng), precondition_error);
+  EXPECT_THROW(make_task_graph("file:/does/not/exist", rng),
+               precondition_error);
+}
+
+TEST(GraphFactory, FileRoundTrip) {
+  Rng rng(5);
+  const TaskGraph g = random_graph(20, 0.3, 1.0, 64.0, rng);
+  std::stringstream ss;
+  write_task_graph(ss, g);
+  const TaskGraph back = read_task_graph(ss);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (const auto& e : g.edges())
+    EXPECT_NEAR(back.edge_bytes(e.a, e.b), e.bytes, 1e-9);
+}
+
+TEST(GraphFactory, ReadRejectsBadFiles) {
+  std::stringstream missing_header("0 1 5\n");
+  EXPECT_THROW(read_task_graph(missing_header), precondition_error);
+  std::stringstream bad_edge("tasks 2\n0 oops 5\n");
+  EXPECT_THROW(read_task_graph(bad_edge), precondition_error);
+  std::stringstream comments_ok("# hello\ntasks 2\n# edge\n0 1 5\n");
+  EXPECT_EQ(read_task_graph(comments_ok).num_edges(), 1);
+}
+
+TEST(GraphFactory, RandomFamiliesUseTheRng) {
+  Rng a(1), b(1), c(2);
+  const TaskGraph ga = make_task_graph("er:30:0.2", a);
+  const TaskGraph gb = make_task_graph("er:30:0.2", b);
+  const TaskGraph gc = make_task_graph("er:30:0.2", c);
+  EXPECT_EQ(ga.num_edges(), gb.num_edges());
+  bool differs = ga.num_edges() != gc.num_edges();
+  if (!differs && ga.num_edges() > 0)
+    differs = !(ga.edges()[0].a == gc.edges()[0].a &&
+                ga.edges()[0].b == gc.edges()[0].b);
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace topomap::graph

@@ -1,0 +1,320 @@
+// Network-simulator tests: analytic no-load latencies, link serialisation,
+// conservation, FIFO determinism, and congestion behaviour under both
+// service models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/metrics.hpp"
+#include "graph/builders.hpp"
+#include "netsim/app.hpp"
+#include "netsim/event_queue.hpp"
+#include "netsim/network.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::netsim {
+namespace {
+
+using topo::TorusMesh;
+
+/// Collects deliveries for inspection.
+class Recorder final : public SimulationClient {
+ public:
+  void on_delivery(SimTime now, const Message& msg) override {
+    deliveries.emplace_back(now, msg);
+  }
+  void on_app_event(SimTime now, std::uint64_t payload) override {
+    app_events.emplace_back(now, payload);
+  }
+  std::vector<std::pair<SimTime, Message>> deliveries;
+  std::vector<std::pair<SimTime, std::uint64_t>> app_events;
+};
+
+NetworkParams test_params() {
+  NetworkParams p;
+  p.bandwidth = 100.0;          // 100 B/us
+  p.per_hop_latency_us = 1.0;
+  p.injection_overhead_us = 2.0;
+  p.packet_bytes = 50.0;
+  return p;
+}
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  EventQueue q;
+  q.push(5.0, Event::Kind::kApp, 1);
+  q.push(3.0, Event::Kind::kApp, 2);
+  q.push(5.0, Event::Kind::kApp, 3);  // same time: FIFO after id 1
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_EQ(q.pop().id, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Network, WormholeNoLoadLatencyClosedForm) {
+  const TorusMesh t = TorusMesh::mesh({8});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kWormhole, &rec);
+  net.inject(0.0, 0, 5, 200.0, 7);  // 5 hops, 200 bytes
+  net.run_until_idle();
+  ASSERT_EQ(rec.deliveries.size(), 1u);
+  // injection 2.0 + 5 hops * 1.0 + 200/100 serialisation = 9.0
+  EXPECT_NEAR(rec.deliveries[0].first, 2.0 + 5.0 * 1.0 + 2.0, 1e-9);
+  EXPECT_EQ(rec.deliveries[0].second.tag, 7u);
+  EXPECT_NEAR(net.latency_stats().mean(), 9.0, 1e-9);
+  EXPECT_NEAR(net.hop_stats().mean(), 5.0, 1e-9);
+}
+
+TEST(Network, StoreForwardNoLoadLatencyClosedForm) {
+  const TorusMesh t = TorusMesh::mesh({8});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kStoreForward, &rec);
+  net.inject(0.0, 0, 3, 150.0, 0);  // 3 hops, 3 packets (50/50/50)
+  net.run_until_idle();
+  ASSERT_EQ(rec.deliveries.size(), 1u);
+  // Per packet per hop: 50/100 + 1.0 = 1.5; pipelined packets:
+  // injection 2 + hops*1.5 + (npkts-1)*0.5 = 2 + 4.5 + 1.0 = 7.5
+  EXPECT_NEAR(rec.deliveries[0].first, 7.5, 1e-9);
+}
+
+TEST(Network, StoreForwardPartialLastPacket) {
+  const TorusMesh t = TorusMesh::mesh({4});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kStoreForward, &rec);
+  net.inject(0.0, 0, 1, 60.0, 0);  // 2 packets: 50 + 10 bytes, 1 hop
+  net.run_until_idle();
+  // First packet occupies the link [2.0, 2.5); second [2.5, 2.6);
+  // delivery at 2.6 + 1.0 hop delay.
+  EXPECT_NEAR(rec.deliveries[0].first, 3.6, 1e-9);
+}
+
+TEST(Network, ZeroHopMessageOnlyPaysInjection) {
+  const TorusMesh t = TorusMesh::mesh({4});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kWormhole, &rec);
+  net.inject(1.0, 2, 2, 1000.0, 0);
+  net.run_until_idle();
+  EXPECT_NEAR(rec.deliveries[0].first, 3.0, 1e-9);
+  EXPECT_NEAR(net.hop_stats().mean(), 0.0, 1e-9);
+}
+
+TEST(Network, SharedLinkSerializesMessages) {
+  // Two same-time messages over the same single link: the second waits a
+  // full serialisation behind the first.
+  const TorusMesh t = TorusMesh::mesh({2});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kWormhole, &rec);
+  net.inject(0.0, 0, 1, 300.0, 1);
+  net.inject(0.0, 0, 1, 300.0, 2);
+  net.run_until_idle();
+  ASSERT_EQ(rec.deliveries.size(), 2u);
+  // msg1: 2 + 1 + 3 = 6; msg2 head waits until 5.0: 5 + 1 + 3 = 9.
+  EXPECT_NEAR(rec.deliveries[0].first, 6.0, 1e-9);
+  EXPECT_NEAR(rec.deliveries[1].first, 9.0, 1e-9);
+  EXPECT_EQ(rec.deliveries[0].second.tag, 1u);  // FIFO order preserved
+}
+
+TEST(Network, OppositeDirectionsDoNotContend) {
+  // Links are unidirectional: 0->1 and 1->0 are distinct resources.
+  const TorusMesh t = TorusMesh::mesh({2});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kWormhole, &rec);
+  net.inject(0.0, 0, 1, 300.0, 1);
+  net.inject(0.0, 1, 0, 300.0, 2);
+  net.run_until_idle();
+  EXPECT_NEAR(rec.deliveries[0].first, 6.0, 1e-9);
+  EXPECT_NEAR(rec.deliveries[1].first, 6.0, 1e-9);
+}
+
+TEST(Network, DisjointPathsDeliverInParallel) {
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kWormhole, &rec);
+  net.inject(0.0, 0, 1, 100.0, 1);
+  net.inject(0.0, 10, 11, 100.0, 2);
+  net.run_until_idle();
+  EXPECT_NEAR(rec.deliveries[0].first, 4.0, 1e-9);
+  EXPECT_NEAR(rec.deliveries[1].first, 4.0, 1e-9);
+}
+
+TEST(Network, EveryInjectedMessageIsDeliveredExactlyOnce) {
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kStoreForward, &rec);
+  Rng rng(31);
+  const int kMessages = 500;
+  for (int i = 0; i < kMessages; ++i) {
+    const int src = static_cast<int>(rng.uniform(16));
+    const int dst = static_cast<int>(rng.uniform(16));
+    net.inject(rng.uniform_double(0.0, 50.0), src, dst,
+               rng.uniform_double(10.0, 400.0), static_cast<std::uint64_t>(i));
+  }
+  net.run_until_idle();
+  ASSERT_EQ(rec.deliveries.size(), static_cast<std::size_t>(kMessages));
+  std::vector<char> seen(kMessages, 0);
+  for (const auto& [time, msg] : rec.deliveries) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(msg.tag)]);
+    seen[static_cast<std::size_t>(msg.tag)] = 1;
+    EXPECT_GE(time, msg.inject_time);
+  }
+}
+
+TEST(Network, SlotRecyclingKeepsMemoryBounded) {
+  // Sequential messages reuse the same slot; run a long chain and check
+  // statistics still count every message.
+  const TorusMesh t = TorusMesh::mesh({2});
+  Network net(t, test_params(), ServiceModel::kWormhole, nullptr);
+  for (int i = 0; i < 1000; ++i) {
+    net.inject(net.now() + 100.0 * i, 0, 1, 50.0, 0);
+    net.run_until_idle();
+  }
+  EXPECT_EQ(net.messages_delivered(), 1000u);
+}
+
+TEST(Network, RejectsPastInjectionAndBadParams) {
+  const TorusMesh t = TorusMesh::mesh({2});
+  Network net(t, test_params(), ServiceModel::kWormhole, nullptr);
+  net.inject(10.0, 0, 1, 10.0, 0);
+  net.run_until_idle();
+  EXPECT_THROW(net.inject(1.0, 0, 1, 10.0, 0), precondition_error);
+  NetworkParams bad = test_params();
+  bad.bandwidth = 0.0;
+  EXPECT_THROW(Network(t, bad, ServiceModel::kWormhole, nullptr),
+               precondition_error);
+}
+
+TEST(Network, AppEventsFireInOrder) {
+  const TorusMesh t = TorusMesh::mesh({2});
+  Recorder rec;
+  Network net(t, test_params(), ServiceModel::kWormhole, &rec);
+  net.schedule_app(5.0, 50);
+  net.schedule_app(1.0, 10);
+  net.run_until_idle();
+  ASSERT_EQ(rec.app_events.size(), 2u);
+  EXPECT_EQ(rec.app_events[0].second, 10u);
+  EXPECT_EQ(rec.app_events[1].second, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Iterative application
+// ---------------------------------------------------------------------------
+
+TEST(IterativeApp, SingleTaskPairProgressesInLockstep) {
+  // Two tasks exchanging one message per iteration over one link.
+  graph::TaskGraph::Builder b("pair");
+  b.add_vertices(2);
+  b.add_edge(0, 1, 200.0);  // 100 bytes each way
+  const auto g = std::move(b).build();
+  const TorusMesh t = TorusMesh::mesh({2});
+  AppParams app;
+  app.iterations = 3;
+  app.compute_us = 10.0;
+  const auto r = run_iterative_app(g, t, core::identity_mapping(2), app,
+                                   test_params());
+  EXPECT_EQ(r.messages, 2u * 3u);
+  // Iteration period: compute 10 + inject 2 + 1 hop + 1.0 serialisation.
+  // Completion is bounded below by iterations * (compute + latency).
+  EXPECT_GT(r.completion_us, 3 * 10.0);
+  EXPECT_LT(r.completion_us, 3 * (10.0 + 2.0 + 1.0 + 1.0) + 10.0);
+  EXPECT_NEAR(r.mean_hops, 1.0, 1e-9);
+}
+
+TEST(IterativeApp, MessageCountMatchesPattern) {
+  const auto g = graph::stencil_2d(4, 4, 100.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  AppParams app;
+  app.iterations = 5;
+  const auto r = run_iterative_app(g, t, core::identity_mapping(16), app,
+                                   test_params());
+  EXPECT_EQ(r.messages, static_cast<std::uint64_t>(2 * g.num_edges() * 5));
+  EXPECT_GT(r.completion_us, 0.0);
+}
+
+TEST(IterativeApp, BetterMappingRunsFasterUnderContention) {
+  // The paper's core claim end-to-end: identity (1-hop) mapping of a
+  // stencil completes faster than a random mapping once bandwidth is the
+  // bottleneck.
+  const auto g = graph::stencil_2d(8, 8, 8000.0);  // 4 KB per direction
+  const TorusMesh t = TorusMesh::torus({8, 8});
+  AppParams app;
+  app.iterations = 10;
+  app.compute_us = 5.0;
+  NetworkParams net = test_params();
+  net.bandwidth = 200.0;  // heavily constrained
+  Rng rng(3);
+  const auto ideal =
+      run_iterative_app(g, t, core::identity_mapping(64), app, net);
+  const auto random = run_iterative_app(g, t, rng.permutation(64), app, net);
+  EXPECT_LT(ideal.completion_us, 0.75 * random.completion_us);
+  EXPECT_LT(ideal.avg_message_latency_us, random.avg_message_latency_us);
+  EXPECT_LT(ideal.max_link_busy_us, random.max_link_busy_us);
+}
+
+TEST(IterativeApp, LatencyGrowsAsBandwidthShrinks) {
+  // Monotone congestion response (shape of paper Fig. 7).
+  const auto g = graph::stencil_2d(4, 4, 2000.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(5);
+  const core::Mapping m = rng.permutation(16);
+  AppParams app;
+  app.iterations = 20;
+  double last = 0.0;
+  bool decreasing = true;
+  for (double bw : {100.0, 300.0, 1000.0}) {
+    NetworkParams net = test_params();
+    net.bandwidth = bw;
+    const auto r = run_iterative_app(g, t, m, app, net);
+    if (last != 0.0 && r.avg_message_latency_us >= last) decreasing = false;
+    last = r.avg_message_latency_us;
+  }
+  EXPECT_TRUE(decreasing);
+}
+
+TEST(IterativeApp, DeterministicAcrossRuns) {
+  const auto g = graph::stencil_2d(4, 4, 500.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  Rng rng(8);
+  const core::Mapping m = rng.permutation(16);
+  AppParams app;
+  app.iterations = 7;
+  const auto a = run_iterative_app(g, t, m, app, test_params());
+  const auto b2 = run_iterative_app(g, t, m, app, test_params());
+  EXPECT_DOUBLE_EQ(a.completion_us, b2.completion_us);
+  EXPECT_DOUBLE_EQ(a.avg_message_latency_us, b2.avg_message_latency_us);
+}
+
+TEST(IterativeApp, RejectsNonBijectiveMapping) {
+  const auto g = graph::stencil_2d(2, 2, 10.0);
+  const TorusMesh t = TorusMesh::mesh({2, 2});
+  AppParams app;
+  EXPECT_THROW(
+      run_iterative_app(g, t, core::Mapping{0, 0, 1, 2}, app, test_params()),
+      precondition_error);
+}
+
+// Both service models agree on ordering of mappings (ablation backstop).
+class ServiceModelTest : public ::testing::TestWithParam<ServiceModel> {};
+
+TEST_P(ServiceModelTest, HopByteOrderingPreserved) {
+  const auto g = graph::stencil_2d(4, 4, 1000.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  AppParams app;
+  app.iterations = 8;
+  NetworkParams net = test_params();
+  net.bandwidth = 150.0;
+  Rng rng(2);
+  const auto ideal = run_iterative_app(g, t, core::identity_mapping(16), app,
+                                       net, GetParam());
+  const auto random =
+      run_iterative_app(g, t, rng.permutation(16), app, net, GetParam());
+  EXPECT_LE(ideal.completion_us, random.completion_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ServiceModelTest,
+                         ::testing::Values(ServiceModel::kWormhole,
+                                           ServiceModel::kStoreForward));
+
+}  // namespace
+}  // namespace topomap::netsim

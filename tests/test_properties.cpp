@@ -1,0 +1,212 @@
+// Cross-cutting property suites (TEST_P): invariants that must hold for
+// every combination of strategy x topology x workload x seed, plus
+// simulator laws on random workloads.  These sweeps are the repository's
+// regression net: they assert structural truths, not tuned constants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/link_refine.hpp"
+#include "core/metrics.hpp"
+#include "core/refine_topo_lb.hpp"
+#include "graph/builders.hpp"
+#include "netsim/app.hpp"
+#include "partition/partition.hpp"
+#include "support/error.hpp"
+#include "topo/factory.hpp"
+
+namespace topomap {
+namespace {
+
+using core::Mapping;
+
+// ---------------------------------------------------------------------------
+// Strategy x topology x workload x seed
+// ---------------------------------------------------------------------------
+
+struct WorkloadFactory {
+  const char* name;
+  graph::TaskGraph (*build)(int n, Rng& rng);
+};
+
+graph::TaskGraph make_stencilish(int n, Rng&) {
+  const auto dims = topo::balanced_dims(n, 2);
+  return graph::stencil_2d(dims[0], dims[1], 256.0);
+}
+graph::TaskGraph make_er(int n, Rng& rng) {
+  return graph::random_graph(n, 0.1, 1.0, 128.0, rng,
+                             /*require_connected=*/false);
+}
+graph::TaskGraph make_heavy_hub(int n, Rng& rng) {
+  // A hub-and-spoke pattern with random extra edges: stresses tie-breaking
+  // and the criticality ordering (the hub must be placed early).
+  graph::TaskGraph::Builder b("hub");
+  b.add_vertices(n, 1.0);
+  for (int i = 1; i < n; ++i) b.add_edge(0, i, 512.0);
+  for (int i = 1; i < n; ++i) {
+    const int j = 1 + static_cast<int>(rng.uniform(n - 1));
+    if (j != i) b.add_edge(std::min(i, j), std::max(i, j), 16.0);
+  }
+  return std::move(b).build();
+}
+
+const WorkloadFactory kWorkloads[] = {
+    {"stencil", make_stencilish},
+    {"er", make_er},
+    {"hub", make_heavy_hub},
+};
+
+class StrategyUniversalTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*, int, int>> {};
+
+TEST_P(StrategyUniversalTest, BijectiveBoundedDeterministic) {
+  const auto [strategy_spec, topo_spec, workload_idx, seed] = GetParam();
+  const auto topo = topo::make_topology(topo_spec);
+  Rng graph_rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  const graph::TaskGraph g =
+      kWorkloads[workload_idx].build(topo->size(), graph_rng);
+  const auto strategy = core::make_strategy(strategy_spec);
+
+  Rng rng_a(static_cast<std::uint64_t>(seed));
+  const Mapping a = strategy->map(g, *topo, rng_a);
+  ASSERT_TRUE(core::is_one_to_one(a, *topo))
+      << strategy_spec << " on " << topo_spec;
+
+  // Hop-bytes bounded by [0, total_bytes * diameter].
+  const double hb = core::hop_bytes(g, *topo, a);
+  EXPECT_GE(hb, 0.0);
+  EXPECT_LE(hb, g.total_comm_bytes() * topo->diameter() + 1e-6);
+
+  // Identical seed => identical mapping (full determinism).
+  Rng rng_b(static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(a, strategy->map(g, *topo, rng_b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrategyUniversalTest,
+    ::testing::Combine(
+        ::testing::Values("random", "topocent", "topolb", "recursive",
+                          "anneal", "topolb+refine", "topolb+linkrefine"),
+        ::testing::Values("torus:6x6", "mesh:4x3x3", "hypercube:5",
+                          "dragonfly:5"),
+        ::testing::Values(0, 1, 2),
+        ::testing::Values(1, 2)));
+
+// Topology-aware strategies beat the random expectation on structured
+// workloads across all routed topologies.
+class StructuredAdvantageTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(StructuredAdvantageTest, BeatsRandomExpectation) {
+  const auto [strategy_spec, topo_spec] = GetParam();
+  const auto topo = topo::make_topology(topo_spec);
+  Rng rng(5);
+  const graph::TaskGraph g = make_stencilish(topo->size(), rng);
+  const auto strategy = core::make_strategy(strategy_spec);
+  const double hpb = core::hops_per_byte(g, *topo, strategy->map(g, *topo, rng));
+  EXPECT_LT(hpb, core::expected_random_hops(*topo))
+      << strategy_spec << " on " << topo_spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructuredAdvantageTest,
+    ::testing::Combine(::testing::Values("topocent", "topolb", "recursive",
+                                         "topolb+refine"),
+                       ::testing::Values("torus:8x8", "mesh:8x8",
+                                         "torus:4x4x4", "hypercube:6",
+                                         "dragonfly:8")));
+
+// ---------------------------------------------------------------------------
+// Refiner composition laws
+// ---------------------------------------------------------------------------
+
+class RefinerLawTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinerLawTest, RefineMonotoneAndLinkRefineL2Monotone) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto topo = topo::make_topology("torus:5x4");
+  const graph::TaskGraph g =
+      graph::random_graph(20, 0.25, 1.0, 64.0, rng);
+  const Mapping start = rng.permutation(20);
+
+  const auto refined = core::refine_mapping(g, *topo, start, 8);
+  EXPECT_LE(refined.hop_bytes_after, refined.hop_bytes_before);
+  // A second application is a no-op (fixed point).
+  const auto again = core::refine_mapping(g, *topo, refined.mapping, 8);
+  EXPECT_EQ(again.swaps, 0);
+
+  const auto link = core::refine_link_load(g, *topo, refined.mapping, 4);
+  EXPECT_LE(link.l2_after, link.l2_before * (1.0 + 1e-9));
+  EXPECT_TRUE(core::is_one_to_one(link.mapping, *topo));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinerLawTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Partitioner laws on random inputs
+// ---------------------------------------------------------------------------
+
+class PartitionLawTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionLawTest, MultilevelNeverLosesBadlyToRandomCut) {
+  const auto [k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 977);
+  const graph::TaskGraph g = graph::random_geometric(120, 0.14, 32.0, rng);
+  const auto ml = part::make_partitioner("multilevel")->partition(g, k, rng);
+  const auto rd = part::make_partitioner("random")->partition(g, k, rng);
+  EXPECT_LE(part::edge_cut(g, ml.assignment),
+            part::edge_cut(g, rd.assignment) * 1.02)
+      << "k=" << k;
+  EXPECT_LT(part::load_imbalance(g, ml.assignment, k), 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionLawTest,
+                         ::testing::Combine(::testing::Values(2, 6, 24),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Simulator laws on random workloads
+// ---------------------------------------------------------------------------
+
+class SimulatorLawTest
+    : public ::testing::TestWithParam<std::tuple<netsim::ServiceModel, int>> {
+};
+
+TEST_P(SimulatorLawTest, LatencyBoundedBelowByNoLoadAndConserved) {
+  const auto [model, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 13);
+  const auto topo = topo::make_topology("torus:4x4");
+  const graph::TaskGraph g = graph::random_graph(
+      16, 0.3, 64.0, 2048.0, rng, /*require_connected=*/false);
+
+  netsim::NetworkParams net;
+  net.bandwidth = 300.0;
+  net.per_hop_latency_us = 0.2;
+  net.injection_overhead_us = 1.0;
+  netsim::AppParams app;
+  app.iterations = 6;
+  const Mapping m = rng.permutation(16);
+  const auto r = netsim::run_iterative_app(g, *topo, m, app, net, model);
+
+  // Conservation: two messages per edge per iteration.
+  EXPECT_EQ(r.messages,
+            static_cast<std::uint64_t>(2 * g.num_edges() * app.iterations));
+  // Latency can never beat injection overhead.
+  EXPECT_GE(r.avg_message_latency_us, net.injection_overhead_us);
+  EXPECT_GE(r.max_message_latency_us, r.avg_message_latency_us);
+  // Completion must cover the per-task serial compute.
+  EXPECT_GE(r.completion_us, app.iterations * app.compute_us);
+  // Busiest link is at least the mean.
+  EXPECT_GE(r.max_link_busy_us, r.mean_link_busy_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulatorLawTest,
+    ::testing::Combine(::testing::Values(netsim::ServiceModel::kWormhole,
+                                         netsim::ServiceModel::kStoreForward),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace topomap

@@ -1,0 +1,97 @@
+// AMPI-style rank-reordering facade: matrix parsing, round-trips, and
+// end-to-end permutation quality.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "graph/builders.hpp"
+#include "runtime/rank_reorder.hpp"
+#include "support/error.hpp"
+#include "topo/factory.hpp"
+
+namespace topomap::rts {
+namespace {
+
+TEST(RankReorder, ParsesAndSymmetrisesMatrix) {
+  std::stringstream ss(
+      "ranks 3\n"
+      "0 10 0\n"
+      "5 0 2\n"
+      "0 0 0\n");
+  const graph::TaskGraph g = read_comm_matrix(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_bytes(0, 1), 15.0);  // 10 + 5 symmetrised
+  EXPECT_DOUBLE_EQ(g.edge_bytes(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_bytes(0, 2), 0.0);
+}
+
+TEST(RankReorder, DiagonalIgnored) {
+  std::stringstream ss(
+      "ranks 2\n"
+      "99 1\n"
+      "1 99\n");
+  const graph::TaskGraph g = read_comm_matrix(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_bytes(0, 1), 2.0);
+}
+
+TEST(RankReorder, RejectsMalformedMatrices) {
+  std::stringstream bad_header("procs 3\n");
+  EXPECT_THROW(read_comm_matrix(bad_header), precondition_error);
+  std::stringstream truncated("ranks 2\n0 1\n");
+  EXPECT_THROW(read_comm_matrix(truncated), precondition_error);
+  std::stringstream negative("ranks 2\n0 -1\n1 0\n");
+  EXPECT_THROW(read_comm_matrix(negative), precondition_error);
+  EXPECT_THROW(read_comm_matrix_file("/nonexistent/matrix.txt"),
+               precondition_error);
+}
+
+TEST(RankReorder, MatrixRoundTripPreservesGraph) {
+  Rng rng(5);
+  const graph::TaskGraph g = graph::random_graph(12, 0.4, 1.0, 99.0, rng);
+  std::stringstream ss;
+  write_comm_matrix(ss, g);
+  const graph::TaskGraph back = read_comm_matrix(ss);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (const auto& e : g.edges())
+    EXPECT_NEAR(back.edge_bytes(e.a, e.b), e.bytes, 1e-9);
+}
+
+TEST(RankReorder, MappingFileRoundTrip) {
+  const core::Mapping m{3, 1, 0, 2};
+  std::stringstream ss;
+  write_rank_mapping(ss, m);
+  EXPECT_EQ(read_rank_mapping(ss), m);
+  std::stringstream out_of_order("1 0\n0 1\n");
+  EXPECT_THROW(read_rank_mapping(out_of_order), precondition_error);
+  std::stringstream empty;
+  EXPECT_THROW(read_rank_mapping(empty), precondition_error);
+}
+
+TEST(RankReorder, EndToEndBeatsInOrderBinding) {
+  // A 2D halo pattern whose natural order is bad for a 3D torus.
+  const graph::TaskGraph ranks = graph::stencil_2d(8, 8, 4096.0);
+  const auto machine = topo::make_topology("torus:4x4x4");
+  Rng rng(3);
+  const core::Mapping m = reorder_ranks(
+      ranks, *machine, *core::make_strategy("topolb"), rng);
+  EXPECT_TRUE(core::is_one_to_one(m, *machine));
+  EXPECT_LT(core::hops_per_byte(ranks, *machine, m),
+            core::hops_per_byte(ranks, *machine,
+                                core::identity_mapping(64)));
+}
+
+TEST(RankReorder, RequiresOneRankPerProcessor) {
+  const graph::TaskGraph ranks = graph::stencil_2d(3, 3, 1.0);
+  const auto machine = topo::make_topology("torus:4x4");
+  Rng rng(1);
+  EXPECT_THROW(
+      reorder_ranks(ranks, *machine, *core::make_strategy("topolb"), rng),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace topomap::rts

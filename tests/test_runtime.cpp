@@ -1,0 +1,296 @@
+// Mini-runtime tests: message-driven scheduling, instrumentation fidelity,
+// LB-database dump/replay round-trips, and the two-phase pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "graph/builders.hpp"
+#include "graph/synthetic_md.hpp"
+#include "runtime/apps.hpp"
+#include "runtime/chare.hpp"
+#include "runtime/lb_database.hpp"
+#include "runtime/lb_manager.hpp"
+#include "support/error.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::rts {
+namespace {
+
+using graph::TaskGraph;
+
+// ---------------------------------------------------------------------------
+// LBDatabase
+// ---------------------------------------------------------------------------
+
+TEST(LBDatabase, AccumulatesLoadsAndComm) {
+  LBDatabase db(3);
+  db.add_load(0, 2.0);
+  db.add_load(0, 3.0);
+  db.add_comm(0, 1, 100.0);
+  db.add_comm(1, 0, 50.0);  // same pair, reversed
+  EXPECT_DOUBLE_EQ(db.load(0), 5.0);
+  EXPECT_DOUBLE_EQ(db.comm(0, 1), 150.0);
+  EXPECT_DOUBLE_EQ(db.comm(1, 0), 150.0);
+  EXPECT_DOUBLE_EQ(db.comm(0, 2), 0.0);
+  EXPECT_EQ(db.num_comm_records(), 1);
+  EXPECT_DOUBLE_EQ(db.total_comm_bytes(), 150.0);
+  EXPECT_DOUBLE_EQ(db.total_load(), 5.0);
+}
+
+TEST(LBDatabase, RejectsBadRecords) {
+  LBDatabase db(2);
+  EXPECT_THROW(db.add_comm(0, 0, 10.0), precondition_error);
+  EXPECT_THROW(db.add_comm(0, 2, 10.0), precondition_error);
+  EXPECT_THROW(db.add_comm(0, 1, 0.0), precondition_error);
+  EXPECT_THROW(db.add_load(0, -1.0), precondition_error);
+  EXPECT_THROW(db.add_load(5, 1.0), precondition_error);
+}
+
+TEST(LBDatabase, ToTaskGraphMatches) {
+  LBDatabase db(4);
+  db.add_load(2, 7.0);
+  db.add_comm(0, 1, 10.0);
+  db.add_comm(2, 3, 20.0);
+  const TaskGraph g = db.to_task_graph();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(2), 7.0);
+  EXPECT_DOUBLE_EQ(g.edge_bytes(2, 3), 20.0);
+}
+
+TEST(LBDatabase, DumpReplayRoundTrip) {
+  LBDatabase db(5);
+  db.add_load(0, 1.25);
+  db.add_load(4, 0.0625);
+  db.add_comm(0, 4, 1234.5);
+  db.add_comm(1, 2, 6.75);
+  std::stringstream ss;
+  db.save(ss);
+  const LBDatabase back = LBDatabase::load_stream(ss);
+  EXPECT_EQ(db, back);
+}
+
+TEST(LBDatabase, FileRoundTripAndErrors) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "topomap_lb.dump").string();
+  LBDatabase db(3);
+  db.add_comm(0, 2, 99.0);
+  db.save_file(path);
+  EXPECT_EQ(LBDatabase::load_file(path), db);
+  std::filesystem::remove(path);
+  EXPECT_THROW(LBDatabase::load_file(path), precondition_error);
+  std::stringstream bad("not-a-dump 1\n");
+  EXPECT_THROW(LBDatabase::load_stream(bad), precondition_error);
+}
+
+TEST(LBDatabase, MergeAddsWindows) {
+  LBDatabase a(2), b(2);
+  a.add_load(0, 1.0);
+  a.add_comm(0, 1, 5.0);
+  b.add_load(0, 2.0);
+  b.add_comm(0, 1, 7.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.load(0), 3.0);
+  EXPECT_DOUBLE_EQ(a.comm(0, 1), 12.0);
+  LBDatabase wrong(3);
+  EXPECT_THROW(a.merge(wrong), precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// ChareRuntime
+// ---------------------------------------------------------------------------
+
+/// Ping-pong pair used to exercise the scheduler directly.
+class PingPong final : public Chare {
+ public:
+  PingPong(int peer, int rounds) : peer_(peer), rounds_(rounds) {}
+  void on_message(int src, double, std::uint64_t count) override {
+    charge(1.0);
+    if (src < 0) {
+      send(peer_, 8.0, 1);
+      return;
+    }
+    if (static_cast<int>(count) >= rounds_) {
+      contribute_done();
+      return;
+    }
+    send(peer_, 8.0, count + 1);
+  }
+
+ private:
+  int peer_;
+  int rounds_;
+};
+
+TEST(ChareRuntime, PingPongTerminatesWithExactCounts) {
+  ChareRuntime rt;
+  rt.insert(std::make_unique<PingPong>(1, 10));
+  rt.insert(std::make_unique<PingPong>(0, 10));
+  rt.start(0);
+  rt.run_to_quiescence();
+  // Chare 0 bootstraps and sends count 1; messages bounce until count 10.
+  EXPECT_EQ(rt.messages_processed(), 1u + 10u);
+  EXPECT_DOUBLE_EQ(rt.database().comm(0, 1), 10 * 8.0);
+}
+
+TEST(ChareRuntime, GuardsAgainstRunaway) {
+  // A chare that replies to itself forever.
+  class Loop final : public Chare {
+   public:
+    void on_message(int, double, std::uint64_t) override { send(0, 1.0, 0); }
+  };
+  ChareRuntime rt;
+  rt.insert(std::make_unique<Loop>());
+  rt.start(0);
+  EXPECT_THROW(rt.run_to_quiescence(/*max_messages=*/1000), invariant_error);
+}
+
+TEST(ChareRuntime, InsertAfterStartRejected) {
+  ChareRuntime rt;
+  rt.insert(std::make_unique<PingPong>(0, 1));
+  rt.start(0);
+  EXPECT_THROW(rt.insert(std::make_unique<PingPong>(0, 1)),
+               precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented applications
+// ---------------------------------------------------------------------------
+
+TEST(Apps, Jacobi2DDatabaseMatchesStencilGraph) {
+  JacobiConfig cfg;
+  cfg.nx = 6;
+  cfg.ny = 4;
+  cfg.iterations = 15;
+  cfg.message_bytes = 512.0;
+  cfg.work_per_iteration = 2.0;
+  const LBDatabase db = run_jacobi2d(cfg);
+  ASSERT_EQ(db.num_objects(), 24);
+  // The measured graph must equal the analytic stencil pattern scaled by
+  // the iteration count: each undirected edge carries 2*bytes per iter.
+  const TaskGraph expected = graph::stencil_2d(6, 4, 2.0 * 512.0 * 15);
+  const TaskGraph measured = db.to_task_graph();
+  ASSERT_EQ(measured.num_edges(), expected.num_edges());
+  for (const auto& e : expected.edges())
+    EXPECT_DOUBLE_EQ(measured.edge_bytes(e.a, e.b), e.bytes);
+  for (int v = 0; v < 24; ++v)
+    EXPECT_DOUBLE_EQ(db.load(v), 2.0 * 15);
+}
+
+TEST(Apps, GraphExchangeReproducesInputScaledByIterations) {
+  Rng rng(17);
+  const TaskGraph g = graph::random_graph(30, 0.2, 16.0, 256.0, rng);
+  const int iters = 7;
+  const LBDatabase db = run_graph_exchange(g, iters);
+  const TaskGraph measured = db.to_task_graph();
+  ASSERT_EQ(measured.num_edges(), g.num_edges());
+  for (const auto& e : g.edges())
+    EXPECT_NEAR(measured.edge_bytes(e.a, e.b), e.bytes * iters, 1e-6);
+  for (int v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(db.load(v), g.vertex_weight(v) * iters, 1e-9);
+}
+
+TEST(Apps, GraphExchangeHandlesIsolatedVertices) {
+  graph::TaskGraph::Builder b("iso");
+  b.add_vertices(4, 1.0);
+  b.add_edge(0, 1, 8.0);
+  const TaskGraph g = std::move(b).build();
+  const LBDatabase db = run_graph_exchange(g, 3);
+  EXPECT_DOUBLE_EQ(db.load(3), 3.0);  // isolated chare still computes
+  EXPECT_DOUBLE_EQ(db.comm(0, 1), 8.0 * 3);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, SquareCaseSkipsPartitioning) {
+  const TaskGraph g = graph::stencil_2d(6, 6, 100.0);
+  const auto topo = topo::make_topology("torus:6x6");
+  PipelineConfig cfg;
+  cfg.mapper = core::make_strategy("topolb");
+  Rng rng(1);
+  const auto r = run_two_phase(g, *topo, cfg, rng);
+  EXPECT_DOUBLE_EQ(r.edge_cut_bytes, g.total_comm_bytes());  // all inter-group
+  EXPECT_TRUE(core::is_one_to_one(r.group_mapping, *topo));
+  EXPECT_EQ(r.object_to_proc, r.group_mapping);  // identity groups
+  EXPECT_LT(r.hops_per_byte, 2.0);
+}
+
+TEST(Pipeline, MdWorkloadEndToEnd) {
+  graph::MdParams params;
+  params.cells_x = 4;
+  params.cells_y = 3;
+  params.cells_z = 3;
+  Rng rng(21);
+  const TaskGraph md = graph::synthetic_md(params, rng);
+  const auto topo = topo::make_topology("torus:4x4");
+  PipelineConfig cfg;
+  cfg.partitioner = part::make_partitioner("multilevel");
+  cfg.mapper = core::make_strategy("topolb");
+  cfg.refine_passes = 4;
+  const auto r = run_two_phase(md, *topo, cfg, rng);
+  ASSERT_EQ(static_cast<int>(r.object_to_proc.size()), md.num_vertices());
+  EXPECT_TRUE(core::is_one_to_one(r.group_mapping, *topo));
+  EXPECT_LT(r.load_imbalance, 1.4);
+  EXPECT_GT(r.quotient_avg_degree, 0.0);
+  // Object placement composes group-of-object with group mapping.
+  for (int obj = 0; obj < md.num_vertices(); ++obj)
+    EXPECT_EQ(r.object_to_proc[obj], r.group_mapping[r.group_of_object[obj]]);
+  // TopoLB+refine must beat random placement on the same partition.
+  PipelineConfig rnd_cfg = cfg;
+  rnd_cfg.mapper = core::make_strategy("random");
+  rnd_cfg.refine_passes = 0;
+  Rng rng2(21);
+  const auto rnd = run_two_phase(md, *topo, rnd_cfg, rng2);
+  EXPECT_LT(r.hops_per_byte, rnd.hops_per_byte);
+}
+
+TEST(Pipeline, ReplayFromDumpMatchesDirectRun) {
+  // +LBDump / +LBSim: strategy results computed from a reloaded dump are
+  // identical to results from the live database.
+  JacobiConfig cfg;
+  cfg.nx = 8;
+  cfg.ny = 8;
+  cfg.iterations = 5;
+  const LBDatabase db = run_jacobi2d(cfg);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "topomap_replay.dump")
+          .string();
+  db.save_file(path);
+  const LBDatabase replayed = LBDatabase::load_file(path);
+  std::filesystem::remove(path);
+
+  const auto topo = topo::make_topology("torus:8x8");
+  PipelineConfig pipeline;
+  pipeline.mapper = core::make_strategy("topolb");
+  Rng rng1(3), rng2(3);
+  const auto live = replay_database(db, *topo, pipeline, rng1);
+  const auto replay = replay_database(replayed, *topo, pipeline, rng2);
+  EXPECT_EQ(live.group_mapping, replay.group_mapping);
+  EXPECT_DOUBLE_EQ(live.hop_bytes, replay.hop_bytes);
+}
+
+TEST(Pipeline, RequiresEnoughObjects) {
+  const TaskGraph g = graph::stencil_2d(2, 2, 1.0);
+  const auto topo = topo::make_topology("torus:3x3");
+  PipelineConfig cfg;
+  cfg.mapper = core::make_strategy("topolb");
+  Rng rng(1);
+  EXPECT_THROW(run_two_phase(g, *topo, cfg, rng), precondition_error);
+}
+
+TEST(Pipeline, MissingPartitionerDiagnosed) {
+  const TaskGraph g = graph::stencil_2d(4, 4, 1.0);
+  const auto topo = topo::make_topology("torus:2x2");
+  PipelineConfig cfg;
+  cfg.mapper = core::make_strategy("topolb");  // partitioner left null
+  Rng rng(1);
+  EXPECT_THROW(run_two_phase(g, *topo, cfg, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace topomap::rts

@@ -1,0 +1,193 @@
+// Runtime placement/migration accounting and the simulator's per-iteration
+// timeline, plus metamorphic invariances of the mapping strategies.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "netsim/app.hpp"
+#include "runtime/apps.hpp"
+#include "runtime/chare.hpp"
+#include "runtime/lb_manager.hpp"
+#include "support/error.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ChareRuntime placement & migration accounting
+// ---------------------------------------------------------------------------
+
+/// Simple chare that fires one message to a fixed peer on bootstrap.
+class OneShot final : public rts::Chare {
+ public:
+  OneShot(int peer, double bytes) : peer_(peer), bytes_(bytes) {}
+  void on_message(int src, double, std::uint64_t) override {
+    if (src < 0) send(peer_, bytes_, 0);
+    contribute_done();
+  }
+
+ private:
+  int peer_;
+  double bytes_;
+};
+
+TEST(Placement, IntraVsInterBytesFollowPlacement) {
+  rts::ChareRuntime rt;
+  rt.insert(std::make_unique<OneShot>(1, 100.0));
+  rt.insert(std::make_unique<OneShot>(0, 50.0));
+  rt.insert(std::make_unique<OneShot>(0, 25.0));
+  // 0,1 colocated on proc 0; 2 on proc 1.
+  EXPECT_EQ(rt.apply_placement({0, 0, 1}), 1);  // only chare 2 moved
+  EXPECT_EQ(rt.processor_of(2), 1);
+  for (int c = 0; c < 3; ++c) rt.start(c);
+  rt.run_to_quiescence();
+  EXPECT_DOUBLE_EQ(rt.intra_processor_bytes(), 150.0);  // 0<->1 both ways
+  EXPECT_DOUBLE_EQ(rt.inter_processor_bytes(), 25.0);   // 2 -> 0
+}
+
+TEST(Placement, MigrationCountAndValidation) {
+  rts::ChareRuntime rt;
+  rt.insert(std::make_unique<OneShot>(1, 1.0));
+  rt.insert(std::make_unique<OneShot>(0, 1.0));
+  EXPECT_EQ(rt.apply_placement({0, 0}), 0);  // default is proc 0
+  EXPECT_EQ(rt.apply_placement({3, 4}), 2);
+  EXPECT_EQ(rt.apply_placement({3, 4}), 0);  // idempotent
+  EXPECT_THROW(rt.apply_placement({1}), precondition_error);
+  EXPECT_THROW(rt.apply_placement({-1, 0}), precondition_error);
+}
+
+/// Chare that sends half of each incident edge's bytes to its neighbours
+/// once — enough to exercise the runtime's intra/inter accounting under a
+/// placement.
+class EdgeBurst final : public rts::Chare {
+ public:
+  EdgeBurst(const graph::TaskGraph& g, int vertex) : g_(g), vertex_(vertex) {}
+  void on_message(int src, double, std::uint64_t) override {
+    if (src < 0)
+      for (const auto& e : g_.edges_of(vertex_))
+        send(e.neighbor, e.bytes / 2.0, 0);
+    if (src >= 0) ++received_;
+    if (received_ == g_.degree(vertex_)) contribute_done();
+  }
+
+ private:
+  const graph::TaskGraph& g_;
+  const int vertex_;
+  int received_ = 0;
+};
+
+TEST(Placement, GoodMappingTurnsTrafficIntra) {
+  // Full loop: LB pipeline produces a placement; applying it to the live
+  // runtime and re-running the app must localise most traffic
+  // on-processor compared with a random grouping.
+  const graph::TaskGraph pattern = graph::stencil_2d(8, 8, 800.0);
+  const auto machine = topo::make_topology("torus:4x4");
+  rts::PipelineConfig pipeline;
+  pipeline.partitioner = part::make_partitioner("multilevel");
+  pipeline.mapper = core::make_strategy("topolb");
+  Rng rng(3);
+  const auto good = rts::run_two_phase(pattern, *machine, pipeline, rng);
+  const auto random_groups =
+      part::make_partitioner("random")->partition(pattern, 16, rng);
+
+  auto inter_bytes_under = [&](const std::vector<int>& placement) {
+    rts::ChareRuntime rt;
+    for (int v = 0; v < pattern.num_vertices(); ++v)
+      rt.insert(std::make_unique<EdgeBurst>(pattern, v));
+    EXPECT_GT(rt.apply_placement(placement), 0);
+    for (int c = 0; c < rt.num_chares(); ++c) rt.start(c);
+    rt.run_to_quiescence();
+    EXPECT_TRUE(rt.all_done());
+    // Every edge carries its full bytes (half each way).
+    EXPECT_NEAR(rt.intra_processor_bytes() + rt.inter_processor_bytes(),
+                pattern.total_comm_bytes(), 1e-6);
+    return rt.inter_processor_bytes();
+  };
+  const double inter_good = inter_bytes_under(good.object_to_proc);
+  const double inter_random = inter_bytes_under(random_groups.assignment);
+  EXPECT_LT(inter_good, 0.7 * inter_random);
+}
+
+// ---------------------------------------------------------------------------
+// Per-iteration timeline
+// ---------------------------------------------------------------------------
+
+TEST(IterationTimeline, MonotoneAndConsistentWithCompletion) {
+  const auto g = graph::stencil_2d(4, 4, 1000.0);
+  const topo::TorusMesh t = topo::TorusMesh::torus({4, 4});
+  netsim::AppParams app;
+  app.iterations = 12;
+  app.compute_us = 5.0;
+  netsim::NetworkParams net;
+  net.bandwidth = 200.0;
+  Rng rng(9);
+  const auto r = netsim::run_iterative_app(g, t, rng.permutation(16), app, net);
+  ASSERT_EQ(r.iteration_complete_us.size(), 12u);
+  for (std::size_t k = 1; k < r.iteration_complete_us.size(); ++k)
+    EXPECT_GE(r.iteration_complete_us[k], r.iteration_complete_us[k - 1]);
+  EXPECT_GE(r.iteration_complete_us.front(), app.compute_us);
+  EXPECT_LE(r.iteration_complete_us.back(), r.completion_us);
+}
+
+TEST(IterationTimeline, SteadyStateIterationPeriodStabilises) {
+  const auto g = graph::stencil_2d(4, 4, 2000.0);
+  const topo::TorusMesh t = topo::TorusMesh::torus({4, 4});
+  netsim::AppParams app;
+  app.iterations = 40;
+  app.compute_us = 5.0;
+  netsim::NetworkParams net;
+  net.bandwidth = 150.0;
+  const auto r = netsim::run_iterative_app(g, t, core::identity_mapping(16),
+                                           app, net);
+  // After warm-up the per-iteration period is constant for a symmetric
+  // workload on a symmetric mapping.
+  const auto& ts = r.iteration_complete_us;
+  const double p1 = ts[20] - ts[19];
+  const double p2 = ts[30] - ts[29];
+  EXPECT_NEAR(p1, p2, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic strategy invariances
+// ---------------------------------------------------------------------------
+
+TEST(Metamorphic, TopoLBInvariantUnderUniformByteScaling) {
+  // All estimation quantities scale linearly with edge bytes, so scaling
+  // every edge by the same constant must not change any decision.  A
+  // power-of-two scale keeps the floating-point comparisons bit-exact
+  // (multiplying by 2^k is exact and order-preserving, ties included);
+  // arbitrary scales could flip near-ties through rounding.
+  Rng rng(5);
+  const graph::TaskGraph g = graph::random_graph(36, 0.15, 1.0, 64.0, rng);
+  graph::TaskGraph::Builder scaled_b("scaled");
+  scaled_b.add_vertices(36);
+  for (const auto& e : g.edges()) scaled_b.add_edge(e.a, e.b, e.bytes * 1024.0);
+  const graph::TaskGraph scaled = std::move(scaled_b).build();
+  const topo::TorusMesh t = topo::TorusMesh::torus({6, 6});
+  Rng r1(1), r2(1);
+  for (const char* spec : {"topolb", "topolb1", "topolb3", "topocent"}) {
+    const auto s = core::make_strategy(spec);
+    EXPECT_EQ(s->map(g, t, r1), s->map(scaled, t, r2)) << spec;
+  }
+}
+
+TEST(Metamorphic, HopBytesLinearInByteScaling) {
+  Rng rng(6);
+  const graph::TaskGraph g = graph::random_graph(20, 0.3, 1.0, 9.0, rng);
+  graph::TaskGraph::Builder scaled_b("scaled");
+  scaled_b.add_vertices(20);
+  for (const auto& e : g.edges()) scaled_b.add_edge(e.a, e.b, e.bytes * 7.0);
+  const graph::TaskGraph scaled = std::move(scaled_b).build();
+  const topo::TorusMesh t = topo::TorusMesh::torus({4, 5});
+  const core::Mapping m = rng.permutation(20);
+  EXPECT_NEAR(core::hop_bytes(scaled, t, m), 7.0 * core::hop_bytes(g, t, m),
+              1e-6);
+  EXPECT_NEAR(core::hops_per_byte(scaled, t, m), core::hops_per_byte(g, t, m),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace topomap

@@ -1,0 +1,227 @@
+// topomap — command-line front end.
+//
+//   topomap map       --tasks=<spec> --topology=<spec> --strategy=<spec>
+//   topomap simulate  ... same, plus network knobs; runs the DES
+//   topomap partition --tasks=<spec> --parts=K [--partitioner=multilevel]
+//   topomap pipeline  --tasks=<spec> --topology=<spec>  (objects > procs)
+//
+// Workload specs: graph::make_task_graph (stencil2d:16x16, md:8x6x5,
+// er:100:0.05, file:path, ...).  Machine specs: topo::make_topology
+// (torus:8x8x8, mesh:16x16, hypercube:6, fattree:4x3, dragonfly:8).
+// Strategy specs: core::make_strategy (random, topocent, topolb,
+// recursive, anneal, <base>+refine, <base>+linkrefine).
+//
+// Everything prints to stdout; --output writes machine-readable files.
+#include <fstream>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "graph/factory.hpp"
+#include "graph/quotient.hpp"
+#include "netsim/app.hpp"
+#include "partition/partition.hpp"
+#include "runtime/lb_manager.hpp"
+#include "runtime/rank_reorder.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "topo/factory.hpp"
+
+namespace {
+
+using namespace topomap;
+
+void print_mapping_report(const graph::TaskGraph& g,
+                          const topo::Topology& topo, const core::Mapping& m,
+                          const std::string& strategy_name) {
+  std::cout << "strategy:       " << strategy_name << "\n";
+  std::cout << "hops-per-byte:  " << core::hops_per_byte(g, topo, m)
+            << "  (random expectation " << core::expected_random_hops(topo)
+            << ")\n";
+  std::cout << "hop-bytes:      " << core::hop_bytes(g, topo, m) << "\n";
+  try {
+    const auto links = core::link_loads(g, topo, m);
+    std::cout << "link loads:     max " << links.max_bytes << " B, mean "
+              << links.mean_bytes << " B over " << links.links_total
+              << " directed links (" << links.links_used << " used)\n";
+  } catch (const precondition_error&) {
+    std::cout << "link loads:     (topology has no processor-level routes)\n";
+  }
+}
+
+int cmd_map(int argc, const char* const* argv, bool simulate) {
+  CliParser cli(simulate ? "map a workload and simulate its execution"
+                         : "map a workload onto a machine");
+  cli.add_option("tasks", "workload spec", "stencil2d:8x8");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("strategy", "mapping strategy", "topolb");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("output", "write 'task processor' lines here", "");
+  if (simulate) {
+    cli.add_option("iterations", "app iterations", "200");
+    cli.add_option("compute-us", "compute per task-iteration (us)", "10");
+    cli.add_option("bandwidth", "link bandwidth MB/s", "500");
+    cli.add_option("routing", "deterministic | adaptive", "deterministic");
+    cli.add_option("model", "wormhole | storeforward", "wormhole");
+  }
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const auto topo = topo::make_topology(cli.str("topology"));
+  if (g.num_vertices() != topo->size()) {
+    std::cerr << "error: workload has " << g.num_vertices()
+              << " tasks but the machine has " << topo->size()
+              << " processors; use `topomap pipeline` when tasks > procs\n";
+    return 1;
+  }
+  const auto strategy = core::make_strategy(cli.str("strategy"));
+  const core::Mapping m = strategy->map(g, *topo, rng);
+
+  std::cout << "workload:       " << g.label() << " (" << g.num_edges()
+            << " edges, " << g.total_comm_bytes() << " B/iter)\n"
+            << "machine:        " << topo->name() << "\n";
+  print_mapping_report(g, *topo, m, strategy->name());
+
+  if (simulate) {
+    netsim::AppParams app;
+    app.iterations = static_cast<int>(cli.integer("iterations"));
+    app.compute_us = cli.real("compute-us");
+    netsim::NetworkParams net;
+    net.bandwidth = cli.real("bandwidth");
+    const std::string routing = cli.str("routing");
+    if (routing == "adaptive")
+      net.routing = netsim::RoutingPolicy::kMinimalAdaptive;
+    else if (routing != "deterministic") {
+      std::cerr << "error: unknown routing policy " << routing << "\n";
+      return 1;
+    }
+    const std::string model_str = cli.str("model");
+    const netsim::ServiceModel model =
+        model_str == "storeforward" ? netsim::ServiceModel::kStoreForward
+                                    : netsim::ServiceModel::kWormhole;
+    const auto r = netsim::run_iterative_app(g, *topo, m, app, net, model);
+    std::cout << "simulation:     " << app.iterations << " iterations at "
+              << net.bandwidth << " MB/s (" << routing << ", " << model_str
+              << ")\n"
+              << "completion:     " << r.completion_us / 1000.0 << " ms\n"
+              << "msg latency:    avg " << r.avg_message_latency_us
+              << " us, p99 " << r.p99_message_latency_us << " us, max "
+              << r.max_message_latency_us << " us\n"
+              << "busiest link:   " << r.max_link_busy_us / 1000.0
+              << " ms busy\n";
+  }
+
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os(out);
+    rts::write_rank_mapping(os, m);
+    std::cout << "mapping written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_partition(int argc, const char* const* argv) {
+  CliParser cli("partition a workload into balanced groups");
+  cli.add_option("tasks", "workload spec", "md:6x6x5");
+  cli.add_option("parts", "group count", "16");
+  cli.add_option("partitioner", "multilevel | greedy | random", "multilevel");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("output", "write 'task group' lines here", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const int k = static_cast<int>(cli.integer("parts"));
+  const auto partitioner = part::make_partitioner(cli.str("partitioner"));
+  const auto r = partitioner->partition(g, k, rng);
+
+  std::cout << "workload:   " << g.label() << " (" << g.num_vertices()
+            << " tasks)\n"
+            << "parts:      " << k << " via " << partitioner->name() << "\n"
+            << "edge cut:   " << part::edge_cut(g, r.assignment) << " B of "
+            << g.total_comm_bytes() << " B total\n"
+            << "imbalance:  " << part::load_imbalance(g, r.assignment, k)
+            << "\n";
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os(out);
+    for (std::size_t t = 0; t < r.assignment.size(); ++t)
+      os << t << ' ' << r.assignment[t] << '\n';
+    std::cout << "assignment written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_pipeline(int argc, const char* const* argv) {
+  CliParser cli("two-phase pipeline: partition objects, map groups");
+  cli.add_option("tasks", "workload spec (tasks >= processors)", "md:6x6x5");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("strategy", "phase-2 mapper", "topolb+refine");
+  cli.add_option("partitioner", "phase-1 partitioner", "multilevel");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("output", "write 'object processor' lines here", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const auto topo = topo::make_topology(cli.str("topology"));
+  rts::PipelineConfig config;
+  config.partitioner = part::make_partitioner(cli.str("partitioner"));
+  config.mapper = core::make_strategy(cli.str("strategy"));
+  const auto r = rts::run_two_phase(g, *topo, config, rng);
+
+  std::cout << "workload:       " << g.label() << " (" << g.num_vertices()
+            << " objects, virtualization "
+            << static_cast<double>(g.num_vertices()) / topo->size() << ")\n"
+            << "machine:        " << topo->name() << "\n"
+            << "phase 1:        cut " << r.edge_cut_bytes << " B, imbalance "
+            << r.load_imbalance << ", quotient degree "
+            << r.quotient_avg_degree << "\n"
+            << "phase 2:        " << config.mapper->name()
+            << ", hops-per-byte " << r.hops_per_byte << "\n";
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os(out);
+    for (std::size_t obj = 0; obj < r.object_to_proc.size(); ++obj)
+      os << obj << ' ' << r.object_to_proc[obj] << '\n';
+    std::cout << "placement written to " << out << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "topomap — topology-aware task mapping (IPDPS'06 reproduction)\n"
+      "\n"
+      "usage: topomap <command> [options]   (--help per command)\n"
+      "  map        map a workload onto a machine, report hop-bytes\n"
+      "  simulate   map + discrete-event execution on the machine\n"
+      "  partition  split a workload into balanced groups\n"
+      "  pipeline   partition + map (more objects than processors)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv past the subcommand for the option parser.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "map") return cmd_map(sub_argc, sub_argv, false);
+    if (command == "simulate") return cmd_map(sub_argc, sub_argv, true);
+    if (command == "partition") return cmd_partition(sub_argc, sub_argv);
+    if (command == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
+    if (command == "--help" || command == "help") {
+      usage();
+      return 0;
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
