@@ -4,7 +4,10 @@
 //   * TopoCentLB runs in O(p * |E_t|), comparable to second-order TopoLB
 //     but with a smaller constant;
 //   * RefineTopoLB sweeps are O(p^2) per pass;
-//   * the multilevel partitioner handles the MD-scale object graphs fast.
+//   * the multilevel partitioner handles the MD-scale object graphs fast;
+//   * the distance-plane engine: DistanceCache rows vs virtual dispatch
+//     (the cached/virtual suffix pairs), and thread scaling of the
+//     parallel kernels (the /threads:N variants).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -15,24 +18,35 @@
 #include "graph/builders.hpp"
 #include "graph/synthetic_md.hpp"
 #include "partition/partition.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "topo/distance_cache.hpp"
 #include "topo/torus_mesh.hpp"
 
 namespace {
 
 using namespace topomap;
 
-void map_stencil(benchmark::State& state, const char* strategy_spec) {
+void map_stencil(benchmark::State& state, const char* strategy_spec,
+                 core::DistanceMode mode = core::DistanceMode::kCached) {
   const int side = static_cast<int>(state.range(0));
   const auto g = graph::stencil_2d(side, side, 1.0);
   const topo::TorusMesh torus = topo::TorusMesh::torus({side, side});
-  const auto strategy = core::make_strategy(strategy_spec);
+  const auto strategy = core::make_strategy(strategy_spec, mode);
   Rng rng(1);
   for (auto _ : state) {
     auto m = strategy->map(g, torus, rng);
     benchmark::DoNotOptimize(m.data());
   }
   state.SetComplexityN(side * side);
+}
+
+/// Same workload with an explicit worker-pool size; restores a single
+/// worker afterwards so unrelated benchmarks stay sequential.
+void map_stencil_threads(benchmark::State& state, const char* strategy_spec) {
+  support::set_num_threads(static_cast<int>(state.range(1)));
+  map_stencil(state, strategy_spec);
+  support::set_num_threads(1);
 }
 
 void BM_TopoLB_SecondOrder(benchmark::State& state) {
@@ -67,6 +81,77 @@ BENCHMARK(BM_TopoCentLB)->Arg(8)->Arg(16)->Arg(32)->Complexity(
 
 void BM_RandomLB(benchmark::State& state) { map_stencil(state, "random"); }
 BENCHMARK(BM_RandomLB)->Arg(32);
+
+// --- distance-plane engine: cached rows vs virtual dispatch ---------------
+// The acceptance bar for the cache is >= 2x on second-order TopoLB at
+// side=32 with a single thread; compare these two series.
+
+void BM_TopoLB_SecondOrder_Virtual(benchmark::State& state) {
+  map_stencil(state, "topolb", core::DistanceMode::kVirtual);
+}
+BENCHMARK(BM_TopoLB_SecondOrder_Virtual)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_TopoLB_ThirdOrder_Virtual(benchmark::State& state) {
+  map_stencil(state, "topolb3", core::DistanceMode::kVirtual);
+}
+BENCHMARK(BM_TopoLB_ThirdOrder_Virtual)->Arg(16)->Arg(24);
+
+void BM_TopoCentLB_Virtual(benchmark::State& state) {
+  map_stencil(state, "topocent", core::DistanceMode::kVirtual);
+}
+BENCHMARK(BM_TopoCentLB_Virtual)->Arg(32);
+
+void BM_DistanceCacheBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side});
+  for (auto _ : state) {
+    topo::DistanceCache cache(torus);
+    benchmark::DoNotOptimize(cache.row(0));
+  }
+  state.SetComplexityN(side * side);
+}
+BENCHMARK(BM_DistanceCacheBuild)->Arg(16)->Arg(32)->Arg(64)->Complexity(
+    benchmark::oNSquared);
+
+// --- thread scaling of the parallel kernels (cached mode) -----------------
+// Args are (side, workers).  Results are byte-identical across the series;
+// only wall time may change.
+
+void BM_TopoLB_ThirdOrder_Threads(benchmark::State& state) {
+  map_stencil_threads(state, "topolb3");
+}
+BENCHMARK(BM_TopoLB_ThirdOrder_Threads)
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4})
+    ->Args({24, 8});
+
+void BM_TopoLB_SecondOrder_Threads(benchmark::State& state) {
+  map_stencil_threads(state, "topolb");
+}
+BENCHMARK(BM_TopoLB_SecondOrder_Threads)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4});
+
+void BM_Refine_Threads(benchmark::State& state) {
+  support::set_num_threads(static_cast<int>(state.range(1)));
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_2d(side, side, 1.0);
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side});
+  Rng rng(2);
+  const core::Mapping random = rng.permutation(side * side);
+  for (auto _ : state) {
+    auto r = core::refine_mapping(g, torus, random, /*max_passes=*/1);
+    benchmark::DoNotOptimize(r.swaps);
+  }
+  support::set_num_threads(1);
+}
+BENCHMARK(BM_Refine_Threads)
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4})
+    ->Args({24, 8});
 
 void BM_RefineTopoLB_OnePass(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));

@@ -218,9 +218,10 @@ bench/CMakeFiles/ablation_netsim_models.dir/ablation_netsim_models.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/strategy.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/support/error.hpp /root/repo/src/support/cli.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/topo/distance_cache.hpp /root/repo/src/core/strategy.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
+ /root/repo/src/support/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

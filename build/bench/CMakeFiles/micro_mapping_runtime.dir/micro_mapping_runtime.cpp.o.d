@@ -236,6 +236,7 @@ bench/CMakeFiles/micro_mapping_runtime.dir/micro_mapping_runtime.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/topo/distance_cache.hpp \
  /root/repo/src/core/refine_topo_lb.hpp /root/repo/src/core/strategy.hpp \
  /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
@@ -243,4 +244,10 @@ bench/CMakeFiles/micro_mapping_runtime.dir/micro_mapping_runtime.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/graph/builders.hpp \
  /root/repo/src/graph/synthetic_md.hpp \
  /root/repo/src/partition/partition.hpp \
+ /root/repo/src/support/parallel.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/topo/torus_mesh.hpp

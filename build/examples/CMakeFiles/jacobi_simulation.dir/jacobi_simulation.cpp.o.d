@@ -201,15 +201,16 @@ examples/CMakeFiles/jacobi_simulation.dir/jacobi_simulation.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/graph/builders.hpp /root/repo/src/support/rng.hpp \
- /usr/include/c++/12/limits /root/repo/src/support/error.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/netsim/app.hpp /root/repo/src/netsim/network.hpp \
- /root/repo/src/netsim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/support/stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/topo/distance_cache.hpp /root/repo/src/graph/builders.hpp \
+ /root/repo/src/support/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/support/error.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/netsim/app.hpp \
+ /root/repo/src/netsim/network.hpp /root/repo/src/netsim/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/support/stats.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \

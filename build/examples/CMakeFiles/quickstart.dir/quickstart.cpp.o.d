@@ -201,7 +201,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/strategy.hpp /root/repo/src/support/rng.hpp \
- /usr/include/c++/12/limits /root/repo/src/support/error.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/graph/builders.hpp /root/repo/src/topo/torus_mesh.hpp
+ /root/repo/src/topo/distance_cache.hpp /root/repo/src/core/strategy.hpp \
+ /root/repo/src/support/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/support/error.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/graph/builders.hpp \
+ /root/repo/src/topo/torus_mesh.hpp

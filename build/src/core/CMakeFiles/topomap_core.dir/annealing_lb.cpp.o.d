@@ -227,4 +227,6 @@ src/core/CMakeFiles/topomap_core.dir/annealing_lb.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/baseline_lb.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/refine_topo_lb.hpp
+ /root/repo/src/topo/distance_cache.hpp \
+ /root/repo/src/core/swap_kernel.hpp \
+ /root/repo/src/core/distance_provider.hpp

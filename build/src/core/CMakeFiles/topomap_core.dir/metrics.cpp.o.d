@@ -199,7 +199,8 @@ src/core/CMakeFiles/topomap_core.dir/metrics.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/topo/distance_cache.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -215,4 +216,5 @@ src/core/CMakeFiles/topomap_core.dir/metrics.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/error.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/parallel.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h

@@ -216,4 +216,5 @@ src/runtime/CMakeFiles/topomap_runtime.dir/dynamic_lb.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/metrics.hpp \
+ /root/repo/src/topo/distance_cache.hpp \
  /root/repo/src/core/refine_topo_lb.hpp /root/repo/src/graph/quotient.hpp

@@ -217,5 +217,5 @@ src/runtime/CMakeFiles/topomap_runtime.dir/lb_manager.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/metrics.hpp /root/repo/src/core/refine_topo_lb.hpp \
- /root/repo/src/graph/quotient.hpp
+ /root/repo/src/core/metrics.hpp /root/repo/src/topo/distance_cache.hpp \
+ /root/repo/src/core/refine_topo_lb.hpp /root/repo/src/graph/quotient.hpp

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/topomap_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/topomap_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/parallel.cpp" "src/support/CMakeFiles/topomap_support.dir/parallel.cpp.o" "gcc" "src/support/CMakeFiles/topomap_support.dir/parallel.cpp.o.d"
   "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/topomap_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/topomap_support.dir/table.cpp.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/topomap_support.dir/cli.cpp.o"
   "CMakeFiles/topomap_support.dir/cli.cpp.o.d"
+  "CMakeFiles/topomap_support.dir/parallel.cpp.o"
+  "CMakeFiles/topomap_support.dir/parallel.cpp.o.d"
   "CMakeFiles/topomap_support.dir/table.cpp.o"
   "CMakeFiles/topomap_support.dir/table.cpp.o.d"
   "libtopomap_support.a"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/distance_cache.cpp" "src/topo/CMakeFiles/topomap_topo.dir/distance_cache.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/distance_cache.cpp.o.d"
   "/root/repo/src/topo/dragonfly.cpp" "src/topo/CMakeFiles/topomap_topo.dir/dragonfly.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/dragonfly.cpp.o.d"
   "/root/repo/src/topo/factory.cpp" "src/topo/CMakeFiles/topomap_topo.dir/factory.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/factory.cpp.o.d"
   "/root/repo/src/topo/fat_tree.cpp" "src/topo/CMakeFiles/topomap_topo.dir/fat_tree.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/fat_tree.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/topomap_topo.dir/distance_cache.cpp.o"
+  "CMakeFiles/topomap_topo.dir/distance_cache.cpp.o.d"
   "CMakeFiles/topomap_topo.dir/dragonfly.cpp.o"
   "CMakeFiles/topomap_topo.dir/dragonfly.cpp.o.d"
   "CMakeFiles/topomap_topo.dir/factory.cpp.o"

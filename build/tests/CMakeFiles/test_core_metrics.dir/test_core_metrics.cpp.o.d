@@ -295,10 +295,10 @@ tests/CMakeFiles/test_core_metrics.dir/test_core_metrics.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/mapping.hpp \
  /root/repo/src/graph/task_graph.hpp /usr/include/c++/12/span \
- /root/repo/src/topo/topology.hpp /root/repo/src/graph/builders.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
- /root/repo/src/support/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/topo/topology.hpp /root/repo/src/topo/distance_cache.hpp \
+ /root/repo/src/graph/builders.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/error.hpp /root/repo/src/support/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

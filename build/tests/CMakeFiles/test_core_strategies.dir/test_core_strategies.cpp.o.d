@@ -297,7 +297,8 @@ tests/CMakeFiles/test_core_strategies.dir/test_core_strategies.cpp.o: \
  /root/repo/src/core/mapping.hpp /root/repo/src/graph/task_graph.hpp \
  /usr/include/c++/12/span /root/repo/src/topo/topology.hpp \
  /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/core/refine_topo_lb.hpp \
+ /root/repo/src/core/metrics.hpp /root/repo/src/topo/distance_cache.hpp \
+ /root/repo/src/core/refine_topo_lb.hpp \
  /root/repo/src/core/topo_cent_lb.hpp /root/repo/src/core/topo_lb.hpp \
  /root/repo/src/graph/builders.hpp /root/repo/src/topo/factory.hpp \
  /root/repo/src/topo/torus_mesh.hpp

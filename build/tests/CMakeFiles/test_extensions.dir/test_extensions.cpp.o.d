@@ -298,6 +298,7 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/topo/topology.hpp \
  /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
  /root/repo/src/core/link_refine.hpp /root/repo/src/core/metrics.hpp \
+ /root/repo/src/topo/distance_cache.hpp \
  /root/repo/src/core/recursive_map.hpp \
  /root/repo/src/core/refine_topo_lb.hpp /root/repo/src/graph/builders.hpp \
  /root/repo/src/runtime/dynamic_lb.hpp \

@@ -295,7 +295,7 @@ tests/CMakeFiles/test_rank_reorder.dir/test_rank_reorder.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/mapping.hpp \
  /root/repo/src/graph/task_graph.hpp /usr/include/c++/12/span \
- /root/repo/src/topo/topology.hpp /root/repo/src/graph/builders.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
- /root/repo/src/runtime/rank_reorder.hpp /root/repo/src/core/strategy.hpp \
- /root/repo/src/topo/factory.hpp
+ /root/repo/src/topo/topology.hpp /root/repo/src/topo/distance_cache.hpp \
+ /root/repo/src/graph/builders.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/error.hpp /root/repo/src/runtime/rank_reorder.hpp \
+ /root/repo/src/core/strategy.hpp /root/repo/src/topo/factory.hpp

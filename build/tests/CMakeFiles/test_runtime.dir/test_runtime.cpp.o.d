@@ -299,11 +299,12 @@ tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o: \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/mapping.hpp \
  /root/repo/src/graph/task_graph.hpp /usr/include/c++/12/span \
- /root/repo/src/topo/topology.hpp /root/repo/src/graph/builders.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/support/error.hpp \
- /root/repo/src/graph/synthetic_md.hpp /root/repo/src/runtime/apps.hpp \
- /root/repo/src/runtime/chare.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/topo/topology.hpp /root/repo/src/topo/distance_cache.hpp \
+ /root/repo/src/graph/builders.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/error.hpp /root/repo/src/graph/synthetic_md.hpp \
+ /root/repo/src/runtime/apps.hpp /root/repo/src/runtime/chare.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/runtime/lb_database.hpp \
  /root/repo/src/runtime/lb_manager.hpp /root/repo/src/core/strategy.hpp \
  /root/repo/src/partition/partition.hpp /root/repo/src/topo/factory.hpp \

@@ -5,7 +5,9 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_distance_cache[1]_include.cmake")
 include("/root/repo/build/tests/test_graph[1]_include.cmake")
 include("/root/repo/build/tests/test_core_metrics[1]_include.cmake")
 include("/root/repo/build/tests/test_core_strategies[1]_include.cmake")

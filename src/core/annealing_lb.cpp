@@ -4,13 +4,69 @@
 
 #include "core/baseline_lb.hpp"
 #include "core/metrics.hpp"
-#include "core/refine_topo_lb.hpp"
+#include "core/swap_kernel.hpp"
 #include "support/error.hpp"
+#include "topo/distance_cache.hpp"
 
 namespace topomap::core {
 
-AnnealingLB::AnnealingLB(AnnealingOptions options)
-    : options_(std::move(options)) {
+namespace {
+
+/// The Metropolis chain proper, templated on the distance provider.  Swap
+/// deltas are identical integers-times-bytes for either provider and the
+/// rng draw sequence does not depend on the provider, so cached and virtual
+/// modes walk the same chain and return the same mapping.
+template <class Dist>
+Mapping run_chain(const graph::TaskGraph& g, const Dist& dist,
+                  Mapping current, double energy, Rng& rng,
+                  const AnnealingOptions& options) {
+  const int n = g.num_vertices();
+  Mapping best = current;
+  double best_energy = energy;
+
+  // Calibrate T0 from the magnitude of random move deltas.
+  double mean_abs_delta = 0.0;
+  const int probes = std::min(256, n * (n - 1) / 2);
+  for (int i = 0; i < probes; ++i) {
+    const int a = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    int b = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+    if (b >= a) ++b;
+    mean_abs_delta += std::abs(detail::swap_delta_dist(g, dist, current, a, b));
+  }
+  mean_abs_delta /= static_cast<double>(probes);
+  double temperature = options.t0_factor * std::max(mean_abs_delta, 1e-9);
+
+  const auto moves =
+      static_cast<int>(options.moves_per_task * static_cast<double>(n));
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int move = 0; move < moves; ++move) {
+      const int a =
+          static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      int b = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+      if (b >= a) ++b;
+      const double delta = detail::swap_delta_dist(g, dist, current, a, b);
+      const bool accept =
+          delta < 0.0 ||
+          rng.uniform_double() < std::exp(-delta / temperature);
+      if (accept) {
+        std::swap(current[static_cast<std::size_t>(a)],
+                  current[static_cast<std::size_t>(b)]);
+        energy += delta;
+        if (energy < best_energy) {
+          best_energy = energy;
+          best = current;
+        }
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return best;
+}
+
+}  // namespace
+
+AnnealingLB::AnnealingLB(AnnealingOptions options, DistanceMode mode)
+    : options_(std::move(options)), mode_(mode) {
   TOPOMAP_REQUIRE(options_.moves_per_task > 0.0, "need positive move budget");
   TOPOMAP_REQUIRE(options_.cooling > 0.0 && options_.cooling < 1.0,
                   "cooling factor must be in (0,1)");
@@ -32,48 +88,15 @@ Mapping AnnealingLB::map(const graph::TaskGraph& g,
   Mapping current = options_.warm_start
                         ? options_.warm_start->map(g, topo, rng)
                         : RandomLB().map(g, topo, rng);
-  double energy = hop_bytes(g, topo, current);
-  Mapping best = current;
-  double best_energy = energy;
-
-  // Calibrate T0 from the magnitude of random move deltas.
-  double mean_abs_delta = 0.0;
-  const int probes = std::min(256, n * (n - 1) / 2);
-  for (int i = 0; i < probes; ++i) {
-    const int a = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
-    int b = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
-    if (b >= a) ++b;
-    mean_abs_delta += std::abs(swap_delta(g, topo, current, a, b));
+  if (mode_ == DistanceMode::kVirtual) {
+    const double energy = hop_bytes(g, topo, current);
+    return run_chain(g, detail::VirtualDistance{topo}, std::move(current),
+                     energy, rng, options_);
   }
-  mean_abs_delta /= static_cast<double>(probes);
-  double temperature =
-      options_.t0_factor * std::max(mean_abs_delta, 1e-9);
-
-  const auto moves = static_cast<int>(options_.moves_per_task *
-                                      static_cast<double>(n));
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (int move = 0; move < moves; ++move) {
-      const int a =
-          static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
-      int b = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
-      if (b >= a) ++b;
-      const double delta = swap_delta(g, topo, current, a, b);
-      const bool accept =
-          delta < 0.0 ||
-          rng.uniform_double() < std::exp(-delta / temperature);
-      if (accept) {
-        std::swap(current[static_cast<std::size_t>(a)],
-                  current[static_cast<std::size_t>(b)]);
-        energy += delta;
-        if (energy < best_energy) {
-          best_energy = energy;
-          best = current;
-        }
-      }
-    }
-    temperature *= options_.cooling;
-  }
-  return best;
+  const topo::DistanceCache cache(topo);
+  const double energy = hop_bytes(g, cache, current);
+  return run_chain(g, detail::CachedDistance{cache}, std::move(current),
+                   energy, rng, options_);
 }
 
 }  // namespace topomap::core

@@ -36,7 +36,8 @@ struct AnnealingOptions {
 
 class AnnealingLB final : public MappingStrategy {
  public:
-  explicit AnnealingLB(AnnealingOptions options = {});
+  explicit AnnealingLB(AnnealingOptions options = {},
+                       DistanceMode mode = DistanceMode::kCached);
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
@@ -44,6 +45,7 @@ class AnnealingLB final : public MappingStrategy {
 
  private:
   AnnealingOptions options_;
+  DistanceMode mode_;
 };
 
 }  // namespace topomap::core

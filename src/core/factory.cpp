@@ -23,24 +23,28 @@ bool consume_suffix(std::string& spec, std::string_view suffix) {
 
 }  // namespace
 
-StrategyPtr make_strategy(const std::string& spec_in) {
+StrategyPtr make_strategy(const std::string& spec_in, DistanceMode mode) {
   std::string spec = spec_in;
   if (consume_suffix(spec, "+linkrefine"))
-    return std::make_shared<LinkRefinedStrategy>(make_strategy(spec));
+    return std::make_shared<LinkRefinedStrategy>(make_strategy(spec, mode));
   if (consume_suffix(spec, "+refine"))
-    return std::make_shared<RefinedStrategy>(make_strategy(spec));
+    return std::make_shared<RefinedStrategy>(make_strategy(spec, mode), 8,
+                                             mode);
   if (spec == "random") return std::make_shared<RandomLB>();
   if (spec == "greedy") return std::make_shared<GreedyLB>();
-  if (spec == "topocent") return std::make_shared<TopoCentLB>();
-  if (spec == "topolb") return std::make_shared<TopoLB>(EstimationOrder::kSecond);
-  if (spec == "topolb1") return std::make_shared<TopoLB>(EstimationOrder::kFirst);
-  if (spec == "topolb3") return std::make_shared<TopoLB>(EstimationOrder::kThird);
+  if (spec == "topocent") return std::make_shared<TopoCentLB>(mode);
+  if (spec == "topolb")
+    return std::make_shared<TopoLB>(EstimationOrder::kSecond, mode);
+  if (spec == "topolb1")
+    return std::make_shared<TopoLB>(EstimationOrder::kFirst, mode);
+  if (spec == "topolb3")
+    return std::make_shared<TopoLB>(EstimationOrder::kThird, mode);
   if (spec == "recursive") return std::make_shared<RecursiveBisectionLB>();
-  if (spec == "anneal") return std::make_shared<AnnealingLB>();
+  if (spec == "anneal") return std::make_shared<AnnealingLB>(AnnealingOptions{}, mode);
   if (spec == "anneal-warm") {
     AnnealingOptions options;
-    options.warm_start = std::make_shared<TopoLB>();
-    return std::make_shared<AnnealingLB>(options);
+    options.warm_start = std::make_shared<TopoLB>(EstimationOrder::kSecond, mode);
+    return std::make_shared<AnnealingLB>(options, mode);
   }
   throw precondition_error("unknown strategy spec: " + spec_in);
 }

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace topomap::core {
+
+namespace {
+
+constexpr int kEdgeGrain = 64;  // routed task-graph edges per chunk
+
+}  // namespace
 
 double hop_bytes(const graph::TaskGraph& g, const topo::Topology& topo,
                  const Mapping& m) {
@@ -16,6 +24,19 @@ double hop_bytes(const graph::TaskGraph& g, const topo::Topology& topo,
   for (const graph::UndirectedEdge& e : g.edges())
     total += e.bytes * topo.distance(m[static_cast<std::size_t>(e.a)],
                                      m[static_cast<std::size_t>(e.b)]);
+  return total;
+}
+
+double hop_bytes(const graph::TaskGraph& g, const topo::DistanceCache& cache,
+                 const Mapping& m) {
+  TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
+                  "mapping size does not match task graph");
+  for (const int p : m)
+    TOPOMAP_REQUIRE(p >= 0 && p < cache.size(), "mapping is incomplete");
+  double total = 0.0;
+  for (const graph::UndirectedEdge& e : g.edges())
+    total += e.bytes * cache.distance(m[static_cast<std::size_t>(e.a)],
+                                      m[static_cast<std::size_t>(e.b)]);
   return total;
 }
 
@@ -46,23 +67,42 @@ LinkLoadStats link_loads(const graph::TaskGraph& g, const topo::Topology& topo,
   TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
                   "mapping size does not match task graph");
   TOPOMAP_REQUIRE(is_complete(m, topo), "mapping is incomplete");
-  std::unordered_map<std::uint64_t, double> load;
   const auto p = static_cast<std::uint64_t>(topo.size());
-  auto add_route = [&](int from, int to, double bytes) {
-    const std::vector<int> path = topo.route(from, to);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const auto key = static_cast<std::uint64_t>(path[i]) * p +
-                       static_cast<std::uint64_t>(path[i + 1]);
+  const std::vector<graph::UndirectedEdge>& edges = g.edges();
+  const int num_edges = static_cast<int>(edges.size());
+
+  // Route edges in parallel: each chunk accumulates into its own map, then
+  // the chunk maps are merged in ascending chunk order.  Which links carry
+  // traffic (and the integer routing itself) is exact; only the FP addition
+  // grouping can differ from sequential, at the ulp level.
+  const int chunks = support::parallel_chunk_count(num_edges, kEdgeGrain);
+  std::vector<std::unordered_map<std::uint64_t, double>> chunk_load(
+      static_cast<std::size_t>(chunks));
+  support::parallel_for_chunks(
+      num_edges, kEdgeGrain, [&](int chunk, int begin, int end) {
+        auto& load = chunk_load[static_cast<std::size_t>(chunk)];
+        auto add_route = [&](int from, int to, double bytes) {
+          const std::vector<int> path = topo.route(from, to);
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const auto key = static_cast<std::uint64_t>(path[i]) * p +
+                             static_cast<std::uint64_t>(path[i + 1]);
+            load[key] += bytes;
+          }
+        };
+        for (int i = begin; i < end; ++i) {
+          const graph::UndirectedEdge& e = edges[static_cast<std::size_t>(i)];
+          const int pa = m[static_cast<std::size_t>(e.a)];
+          const int pb = m[static_cast<std::size_t>(e.b)];
+          if (pa == pb) continue;
+          add_route(pa, pb, e.bytes / 2.0);
+          add_route(pb, pa, e.bytes / 2.0);
+        }
+      });
+  std::unordered_map<std::uint64_t, double> load;
+  for (int c = 0; c < chunks; ++c)
+    for (const auto& [key, bytes] : chunk_load[static_cast<std::size_t>(c)])
       load[key] += bytes;
-    }
-  };
-  for (const graph::UndirectedEdge& e : g.edges()) {
-    const int pa = m[static_cast<std::size_t>(e.a)];
-    const int pb = m[static_cast<std::size_t>(e.b)];
-    if (pa == pb) continue;
-    add_route(pa, pb, e.bytes / 2.0);
-    add_route(pb, pa, e.bytes / 2.0);
-  }
+
   LinkLoadStats stats;
   stats.links_total = topo.directed_link_count();
   for (const auto& [key, bytes] : load) {

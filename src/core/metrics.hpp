@@ -7,12 +7,19 @@
 
 #include "core/mapping.hpp"
 #include "graph/task_graph.hpp"
+#include "topo/distance_cache.hpp"
 #include "topo/topology.hpp"
 
 namespace topomap::core {
 
 /// HB(G_t, G_p, P) = sum over edges e=(a,b) of bytes(e) * d(P(a), P(b)).
 double hop_bytes(const graph::TaskGraph& g, const topo::Topology& topo,
+                 const Mapping& m);
+
+/// Same metric read from a prebuilt distance cache.  Distances are exactly
+/// equal integers and the edge summation order is identical, so this
+/// returns bit-identical values to the virtual-dispatch overload.
+double hop_bytes(const graph::TaskGraph& g, const topo::DistanceCache& cache,
                  const Mapping& m);
 
 /// HB contribution of a single task: sum over its incident edges.  Summing
@@ -42,6 +49,11 @@ struct LinkLoadStats {
 /// Route every task-graph edge (both directions, bytes each way = edge
 /// bytes / 2 so totals match hop-bytes) and accumulate per-link loads.
 /// Requires a topology with route() support (grids, hypercube, graphs).
+/// Edge routing runs on the support::parallel pool (per-chunk load maps,
+/// merged in ascending chunk order); the result is deterministic for any
+/// thread count, though the FP sums may differ from a strictly sequential
+/// accumulation at the ulp level (this is a read-only statistic — no
+/// mapping decision consumes it).
 LinkLoadStats link_loads(const graph::TaskGraph& g, const topo::Topology& topo,
                          const Mapping& m);
 

@@ -1,68 +1,138 @@
 #include "core/refine_topo_lb.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/distance_provider.hpp"
 #include "core/metrics.hpp"
+#include "core/swap_kernel.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "topo/distance_cache.hpp"
 
 namespace topomap::core {
 
+namespace {
+
+constexpr int kPairGrain = 256;    // swap-delta evaluations per chunk
+constexpr int kMaxBlockRows = 64;  // speculation window cap (see sweep below)
+
+/// One first-improvement sweep over all pairs (a, b), a < b, exactly
+/// reproducing the sequential visit order and accept decisions.
+///
+/// The sweep is parallelised *speculatively*: deltas for a block of rows
+/// are evaluated concurrently against the current mapping (each pair writes
+/// only its own slot), then the pairs are walked in sequential order.  An
+/// accepted swap invalidates every not-yet-visited delta conservatively, so
+/// the remaining suffix of the block is re-evaluated in parallel before the
+/// walk continues — every delta that is *acted on* was therefore computed
+/// against the exact mapping the sequential algorithm would see, and the
+/// arithmetic inside swap_delta_dist is a fixed sequential loop, so accept
+/// decisions (and the final mapping) are byte-identical to the sequential
+/// sweep for any thread count.
+///
+/// The block height adapts to the swap rate: it starts at one row, doubles
+/// after every swap-free block (capped at kMaxBlockRows) and resets to one
+/// row when a block accepts a swap.  Late passes — where swaps are rare and
+/// the sweep is pure evaluation — run at full width; early swap-dense
+/// passes pay at most one wasted evaluation per accepted swap.  The
+/// schedule depends only on accept decisions, never on thread count.
+template <class Dist>
+bool sweep_once(const graph::TaskGraph& g, const Dist& dist, Mapping& m,
+                int* swaps) {
+  const int n = static_cast<int>(m.size());
+  struct PairAB {
+    int a, b;
+  };
+  std::vector<PairAB> pairs;
+  std::vector<double> deltas;
+
+  const auto evaluate = [&](int lo, int hi) {
+    support::parallel_for(hi - lo, kPairGrain, [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) {
+        const PairAB& pr = pairs[static_cast<std::size_t>(lo + i)];
+        deltas[static_cast<std::size_t>(lo + i)] =
+            detail::swap_delta_dist(g, dist, m, pr.a, pr.b);
+      }
+    });
+  };
+
+  bool improved = false;
+  int block = 1;
+  int a = 0;
+  while (a < n) {
+    const int hi = std::min(a + block, n);
+    pairs.clear();
+    for (int r = a; r < hi; ++r)
+      for (int b = r + 1; b < n; ++b) pairs.push_back({r, b});
+    deltas.assign(pairs.size(), 0.0);
+    evaluate(0, static_cast<int>(pairs.size()));
+
+    bool block_swapped = false;
+    for (int i = 0; i < static_cast<int>(pairs.size()); ++i) {
+      if (!(deltas[static_cast<std::size_t>(i)] < -1e-12)) continue;
+      const PairAB& pr = pairs[static_cast<std::size_t>(i)];
+      std::swap(m[static_cast<std::size_t>(pr.a)],
+                m[static_cast<std::size_t>(pr.b)]);
+      ++*swaps;
+      improved = true;
+      block_swapped = true;
+      evaluate(i + 1, static_cast<int>(pairs.size()));
+    }
+    a = hi;
+    block = block_swapped ? 1 : std::min(block * 2, kMaxBlockRows);
+  }
+  return improved;
+}
+
+template <class Dist>
+RefineResult run_refine(const graph::TaskGraph& g, const Dist& dist,
+                        double hb_before, const Mapping& m, int max_passes) {
+  RefineResult result;
+  result.mapping = m;
+  result.hop_bytes_before = hb_before;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++result.passes;
+    if (!sweep_once(g, dist, result.mapping, &result.swaps)) break;
+  }
+  return result;
+}
+
+}  // namespace
+
 double swap_delta(const graph::TaskGraph& g, const topo::Topology& topo,
                   const Mapping& m, int a, int b) {
-  const int pa = m[static_cast<std::size_t>(a)];
-  const int pb = m[static_cast<std::size_t>(b)];
-  if (pa == pb) return 0.0;
-  double delta = 0.0;
-  for (const graph::Edge& e : g.edges_of(a)) {
-    if (e.neighbor == b) continue;  // the (a,b) edge length is unchanged
-    const int pj = m[static_cast<std::size_t>(e.neighbor)];
-    delta += e.bytes * static_cast<double>(topo.distance(pb, pj) -
-                                           topo.distance(pa, pj));
-  }
-  for (const graph::Edge& e : g.edges_of(b)) {
-    if (e.neighbor == a) continue;
-    const int pj = m[static_cast<std::size_t>(e.neighbor)];
-    delta += e.bytes * static_cast<double>(topo.distance(pa, pj) -
-                                           topo.distance(pb, pj));
-  }
-  return delta;
+  return detail::swap_delta_dist(g, detail::VirtualDistance{topo}, m, a, b);
 }
 
 RefineResult refine_mapping(const graph::TaskGraph& g,
                             const topo::Topology& topo, const Mapping& m,
-                            int max_passes) {
+                            int max_passes, DistanceMode mode) {
   TOPOMAP_REQUIRE(max_passes >= 1, "need at least one sweep");
   TOPOMAP_REQUIRE(is_one_to_one(m, topo), "refiner needs a one-to-one mapping");
   TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
                   "mapping size mismatch");
 
   RefineResult result;
-  result.mapping = m;
-  result.hop_bytes_before = hop_bytes(g, topo, m);
-  const int n = g.num_vertices();
-
-  for (int pass = 0; pass < max_passes; ++pass) {
-    ++result.passes;
-    bool improved = false;
-    for (int a = 0; a < n; ++a) {
-      for (int b = a + 1; b < n; ++b) {
-        const double delta = swap_delta(g, topo, result.mapping, a, b);
-        if (delta < -1e-12) {
-          std::swap(result.mapping[static_cast<std::size_t>(a)],
-                    result.mapping[static_cast<std::size_t>(b)]);
-          ++result.swaps;
-          improved = true;
-        }
-      }
-    }
-    if (!improved) break;
+  if (mode == DistanceMode::kVirtual) {
+    result = run_refine(g, detail::VirtualDistance{topo},
+                        hop_bytes(g, topo, m), m, max_passes);
+    result.hop_bytes_after = hop_bytes(g, topo, result.mapping);
+  } else {
+    const topo::DistanceCache cache(topo);
+    result = run_refine(g, detail::CachedDistance{cache},
+                        hop_bytes(g, cache, m), m, max_passes);
+    result.hop_bytes_after = hop_bytes(g, cache, result.mapping);
   }
-  result.hop_bytes_after = hop_bytes(g, topo, result.mapping);
   TOPOMAP_ASSERT(result.hop_bytes_after <= result.hop_bytes_before + 1e-6,
                  "refinement must never worsen hop-bytes");
   return result;
 }
 
-RefinedStrategy::RefinedStrategy(StrategyPtr base, int max_passes)
-    : base_(std::move(base)), max_passes_(max_passes) {
+RefinedStrategy::RefinedStrategy(StrategyPtr base, int max_passes,
+                                 DistanceMode mode)
+    : base_(std::move(base)), max_passes_(max_passes), mode_(mode) {
   TOPOMAP_REQUIRE(base_ != nullptr, "base strategy is null");
   TOPOMAP_REQUIRE(max_passes_ >= 1, "need at least one sweep");
 }
@@ -70,7 +140,7 @@ RefinedStrategy::RefinedStrategy(StrategyPtr base, int max_passes)
 Mapping RefinedStrategy::map(const graph::TaskGraph& g,
                              const topo::Topology& topo, Rng& rng) const {
   const Mapping base = base_->map(g, topo, rng);
-  return refine_mapping(g, topo, base, max_passes_).mapping;
+  return refine_mapping(g, topo, base, max_passes_, mode_).mapping;
 }
 
 std::string RefinedStrategy::name() const {

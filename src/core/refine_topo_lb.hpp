@@ -21,9 +21,14 @@ struct RefineResult {
 
 /// Refine `m` in place-semantics (returns the improved copy).  The result's
 /// hop-bytes are monotonically non-increasing in the number of sweeps.
+/// The O(p^2) swap-delta sweep is parallelised speculatively (see the
+/// implementation note in refine_topo_lb.cpp); results are byte-identical
+/// to the sequential first-improvement sweep for any thread count and for
+/// either distance mode.
 RefineResult refine_mapping(const graph::TaskGraph& g,
                             const topo::Topology& topo, const Mapping& m,
-                            int max_passes = 8);
+                            int max_passes = 8,
+                            DistanceMode mode = DistanceMode::kCached);
 
 /// Change in hop-bytes if tasks a and b exchanged processors under m
 /// (negative = improvement).  Exposed for tests.
@@ -33,7 +38,8 @@ double swap_delta(const graph::TaskGraph& g, const topo::Topology& topo,
 /// Strategy adaptor: run `base`, then RefineTopoLB.
 class RefinedStrategy final : public MappingStrategy {
  public:
-  RefinedStrategy(StrategyPtr base, int max_passes = 8);
+  RefinedStrategy(StrategyPtr base, int max_passes = 8,
+                  DistanceMode mode = DistanceMode::kCached);
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
@@ -42,6 +48,7 @@ class RefinedStrategy final : public MappingStrategy {
  private:
   StrategyPtr base_;
   int max_passes_;
+  DistanceMode mode_;
 };
 
 }  // namespace topomap::core

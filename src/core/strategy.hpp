@@ -16,6 +16,16 @@
 
 namespace topomap::core {
 
+/// How a strategy evaluates processor distances.
+///   kCached   build a topo::DistanceCache once per map() call and read
+///             dense uint16 rows — the production fast path;
+///   kVirtual  dispatch through Topology::distance on every lookup — the
+///             reference path the equivalence tests and the cached-vs-virtual
+///             benches compare against.
+/// The two paths run the same kernels in the same order and produce
+/// byte-identical mappings (asserted by tests/test_distance_cache.cpp).
+enum class DistanceMode { kCached, kVirtual };
+
 class MappingStrategy {
  public:
   virtual ~MappingStrategy() = default;
@@ -46,6 +56,9 @@ using StrategyPtr = std::shared_ptr<const MappingStrategy>;
 ///   "anneal-warm"        simulated annealing warm-started from TopoLB
 ///   "<base>+refine"      any of the above followed by RefineTopoLB
 ///   "<base>+linkrefine"  any of the above followed by link-load refinement
-StrategyPtr make_strategy(const std::string& spec);
+/// `mode` selects the distance path for every strategy in the composition
+/// (the default cached mode is what production callers want).
+StrategyPtr make_strategy(const std::string& spec,
+                          DistanceMode mode = DistanceMode::kCached);
 
 }  // namespace topomap::core

@@ -1,15 +1,22 @@
 #include "core/topo_cent_lb.hpp"
 
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "core/distance_provider.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "topo/distance_cache.hpp"
 
 namespace topomap::core {
 
-Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
-                        Rng& rng) const {
-  (void)rng;  // fully deterministic given the tie-breaking rules below
-  require_square(g, topo);
+namespace {
+
+constexpr int kProcGrain = 2048;  // free-processor cost scan
+
+template <class Dist>
+Mapping run_topocent(const graph::TaskGraph& g, const Dist& dist) {
   const int n = g.num_vertices();
   Mapping m(static_cast<std::size_t>(n), kUnassigned);
   if (n == 0) return m;
@@ -18,6 +25,11 @@ Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
   std::vector<char> proc_used(static_cast<std::size_t>(n), 0);
   // key[t]: total bytes t exchanges with already-placed tasks.
   std::vector<double> key(static_cast<std::size_t>(n), 0.0);
+
+  // Per-cycle scratch: the selected task's already-placed edges, in CSR
+  // order, as (bytes, assigned processor).
+  std::vector<std::pair<double, int>> placed_edges;
+  placed_edges.reserve(16);
 
   for (int cycle = 0; cycle < n; ++cycle) {
     // --- task selection ---
@@ -50,19 +62,48 @@ Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
     TOPOMAP_ASSERT(best_task >= 0, "no task selected");
 
     // --- processor selection: minimise first-order hop-byte cost ---
+    // The scan over free processors is the dominant O(p) x |placed edges|
+    // work, and each candidate's cost is independent — parallelise over
+    // static chunks of q.  Each chunk records its own first-strict-minimum;
+    // combining the chunk results in ascending chunk order with strict `<`
+    // reproduces the sequential lowest-id tie-break exactly.  Per-candidate
+    // cost accumulation stays in CSR edge order, so every term and its
+    // summation order match the sequential (and virtual-dispatch) path.
+    placed_edges.clear();
+    for (const graph::Edge& e : g.edges_of(best_task))
+      if (task_placed[static_cast<std::size_t>(e.neighbor)])
+        placed_edges.emplace_back(e.bytes,
+                                  m[static_cast<std::size_t>(e.neighbor)]);
+
+    const int chunks = support::parallel_chunk_count(n, kProcGrain);
+    std::vector<double> chunk_cost(
+        static_cast<std::size_t>(chunks),
+        std::numeric_limits<double>::infinity());
+    std::vector<int> chunk_proc(static_cast<std::size_t>(chunks), -1);
+    support::parallel_for_chunks(
+        n, kProcGrain, [&](int chunk, int begin, int end) {
+          double best_cost = std::numeric_limits<double>::infinity();
+          int best_proc = -1;
+          for (int q = begin; q < end; ++q) {
+            if (proc_used[static_cast<std::size_t>(q)]) continue;
+            const auto row = dist.row(q);
+            double cost = 0.0;
+            for (const auto& [bytes, pe] : placed_edges)
+              cost += bytes * row[pe];
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_proc = q;
+            }
+          }
+          chunk_cost[static_cast<std::size_t>(chunk)] = best_cost;
+          chunk_proc[static_cast<std::size_t>(chunk)] = best_proc;
+        });
     int best_proc = -1;
     double best_cost = std::numeric_limits<double>::infinity();
-    for (int q = 0; q < n; ++q) {
-      if (proc_used[static_cast<std::size_t>(q)]) continue;
-      double cost = 0.0;
-      for (const graph::Edge& e : g.edges_of(best_task)) {
-        if (!task_placed[static_cast<std::size_t>(e.neighbor)]) continue;
-        cost += e.bytes *
-                topo.distance(q, m[static_cast<std::size_t>(e.neighbor)]);
-      }
-      if (cost < best_cost) {
-        best_cost = cost;
-        best_proc = q;
+    for (int c = 0; c < chunks; ++c) {
+      if (chunk_cost[static_cast<std::size_t>(c)] < best_cost) {
+        best_cost = chunk_cost[static_cast<std::size_t>(c)];
+        best_proc = chunk_proc[static_cast<std::size_t>(c)];
       }
     }
     TOPOMAP_ASSERT(best_proc >= 0, "no free processor");
@@ -76,6 +117,19 @@ Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
         key[static_cast<std::size_t>(e.neighbor)] += e.bytes;
   }
   return m;
+}
+
+}  // namespace
+
+Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
+                        Rng& rng) const {
+  (void)rng;  // fully deterministic given the tie-breaking rules above
+  require_square(g, topo);
+  if (g.num_vertices() == 0) return {};
+  if (mode_ == DistanceMode::kVirtual)
+    return run_topocent(g, detail::VirtualDistance{topo});
+  const topo::DistanceCache cache(topo);
+  return run_topocent(g, detail::CachedDistance{cache});
 }
 
 }  // namespace topomap::core

@@ -17,9 +17,16 @@ namespace topomap::core {
 
 class TopoCentLB final : public MappingStrategy {
  public:
+  explicit TopoCentLB(DistanceMode mode = DistanceMode::kCached)
+      : mode_(mode) {}
+
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
   std::string name() const override { return "TopoCentLB"; }
+  DistanceMode mode() const { return mode_; }
+
+ private:
+  DistanceMode mode_;
 };
 
 }  // namespace topomap::core

@@ -1,19 +1,62 @@
 #include "core/topo_lb.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "core/distance_provider.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "topo/distance_cache.hpp"
 
 namespace topomap::core {
 
 namespace {
 
+// Static-chunk grains for the row-independent kernels.  Chunk boundaries
+// depend only on loop size and grain (never thread count), and each chunk
+// touches only its own rows/slots, so results are byte-identical for any
+// thread count — see support/parallel.hpp.
+constexpr int kRowGrain = 8;      // full row rescans (O(p) work per row)
+constexpr int kTaskGrain = 512;   // scalar per-task updates
+constexpr int kProcGrain = 2048;  // per-free-processor updates
+
+/// Row-minimum buffer depth.  Each row keeps its kTopK smallest (f, q)
+/// pairs; when a row's argmin processor is consumed the next minimum is the
+/// first still-free buffer entry, and a full O(p) rescan is needed only
+/// once the buffer drains.  Correctness: a row's f values over free
+/// processors change only when the row's task gains a placed neighbour
+/// (step 4 rescans it then), so between rescans the free set merely
+/// shrinks — and the K smallest of a set contain the minimum of every
+/// subset they intersect.  On symmetric topologies nearly every row shares
+/// one argmin, so without the buffer each placement forces O(p) full
+/// rescans — O(p^3) total where the paper promises O(p^2 * deg).
+constexpr int kTopK = 16;
+
 /// All mutable algorithm state, kept in one place so the update steps after
-/// each placement read like the paper's description.
+/// each placement read like the paper's description.  `Dist` is either
+/// detail::CachedDistance or detail::VirtualDistance; both run identical
+/// arithmetic (core/distance_provider.hpp).
+///
+/// Lazy rows: until a task gains its first placed neighbour its
+/// assigned_cost row is identically zero, so its f landscape is just
+/// U(t) * meandist(q) (second order) or constant zero (first order) — a
+/// scaled copy of one shared vector.  Such rows carry no per-row state;
+/// their minimum lives in one global (meandist, q)-ascending order with a
+/// skip-consumed head, and their F_sum is U(t) * sum of free meandists.
+/// This removes the initial O(p^2) scan and, crucially, the lockstep
+/// buffer-drain storm on symmetric topologies where every passive row
+/// would otherwise refill at once.  A row activates (full rescan into its
+/// top-K buffer) the first time step 4 touches it.  Third order refreshes
+/// every row each cycle, so there the lazy path is disabled.
+template <class Dist>
 struct TopoLBState {
-  TopoLBState(const graph::TaskGraph& graph_in, const topo::Topology& topo_in,
+  TopoLBState(const graph::TaskGraph& graph_in, const Dist& dist_in,
               EstimationOrder order_in)
-      : g(graph_in), topo(topo_in), order(order_in), n(g.num_vertices()) {
+      : g(graph_in), dist(dist_in), order(order_in), n(g.num_vertices()),
+        lazy(order_in != EstimationOrder::kThird) {
     const auto un = static_cast<std::size_t>(n);
     assigned_cost.assign(un * un, 0.0);
     unplaced_bytes.resize(un);
@@ -21,7 +64,7 @@ struct TopoLBState {
     for (int t = 0; t < n; ++t)
       unplaced_bytes[static_cast<std::size_t>(t)] = g.comm_bytes(t);
     for (int q = 0; q < n; ++q)
-      mean_dist[static_cast<std::size_t>(q)] = topo.mean_distance_from(q);
+      mean_dist[static_cast<std::size_t>(q)] = dist.mean_distance_from(q);
     if (order == EstimationOrder::kThird) {
       sum_dist_free.resize(un);
       for (int q = 0; q < n; ++q)
@@ -32,11 +75,35 @@ struct TopoLBState {
     proc_used.assign(un, 0);
     free_procs.reserve(un);
     for (int q = 0; q < n; ++q) free_procs.push_back(q);
+    unplaced.reserve(un);
+    for (int t = 0; t < n; ++t) unplaced.push_back(t);
     f_sum.assign(un, 0.0);
     f_min.assign(un, 0.0);
     f_argmin.assign(un, -1);
+    top_k = std::min(kTopK, n);
+    top_f.assign(un * static_cast<std::size_t>(top_k), 0.0);
+    top_q.assign(un * static_cast<std::size_t>(top_k), -1);
+    top_head.assign(un, 0);
+    top_size.assign(un, 0);
+    row_active.assign(un, 0);
     mapping.assign(un, kUnassigned);
-    for (int t = 0; t < n; ++t) rescan_row(t);
+    if (lazy) {
+      // Shared landscape of passive rows: zero for first order (f ==
+      // assigned == 0 there), meandist for second.  Lexicographic (value,
+      // q) ascending, so the head is the lowest-id processor among equal
+      // values — matching the sequential first-strict-minimum scan.
+      m_order.reserve(un);
+      const bool second = order == EstimationOrder::kSecond;
+      for (int q = 0; q < n; ++q) {
+        const double mq =
+            second ? mean_dist[static_cast<std::size_t>(q)] : 0.0;
+        m_order.emplace_back(mq, q);
+        sum_m_free += mq;
+      }
+      std::sort(m_order.begin(), m_order.end());
+    } else {
+      rescan_all_rows();
+    }
   }
 
   /// f_est(t, q, P) for a free processor q under the configured order.
@@ -54,68 +121,218 @@ struct TopoLBState {
                               sum_dist_free[static_cast<std::size_t>(q)] /
                               static_cast<double>(free_procs.size());
     }
-    TOPOMAP_ASSERT(false, "unreachable estimation order");
+    TOPOMAP_UNREACHABLE("estimation order is an exhaustive enum");
   }
 
-  /// Recompute F_sum / F_min / F_argmin of task t over the free processors.
-  /// Scanning in increasing q keeps processor tie-breaking at lowest id.
+  /// Recompute F_sum and refill row t's top-K minima buffer by scanning the
+  /// free processors in increasing q.  The buffer holds the K smallest
+  /// (f, q) pairs in ascending lexicographic order, so its head is the
+  /// sequential scan's first-strict-minimum (smallest f; lowest q on ties).
+  ///
+  /// This is the hottest kernel (every step-4 touched row pays one call),
+  /// so the f expressions are specialized per order outside the loop —
+  /// identical arithmetic to f_est, without its per-element dispatch — and
+  /// the K smallest are kept in a small max-heap whose reject test is one
+  /// predictable comparison per element.
   void rescan_row(int t) {
+    const int nf = static_cast<int>(free_procs.size());
+    const double* arow =
+        assigned_cost.data() +
+        static_cast<std::size_t>(t) * static_cast<std::size_t>(n);
+    const double u = unplaced_bytes[static_cast<std::size_t>(t)];
+    std::pair<double, int> heap[kTopK];  // max-heap: largest (f, q) at [0]
+    int hs = 0;
     double sum = 0.0;
-    double mn = std::numeric_limits<double>::infinity();
-    int arg = -1;
-    for (int q : free_procs) {
-      const double f = f_est(t, q);
-      sum += f;
-      if (f < mn) {
-        mn = f;
-        arg = q;
+    auto consider = [&](double f, int q) {
+      const std::pair<double, int> cand(f, q);
+      if (hs < top_k) {
+        heap[hs++] = cand;
+        std::push_heap(heap, heap + hs);
+      } else if (cand < heap[0]) {
+        std::pop_heap(heap, heap + hs);
+        heap[hs - 1] = cand;
+        std::push_heap(heap, heap + hs);
+      }
+    };
+    switch (order) {
+      case EstimationOrder::kFirst:
+        for (int i = 0; i < nf; ++i) {
+          const int q = free_procs[static_cast<std::size_t>(i)];
+          const double f = arow[q];
+          sum += f;
+          consider(f, q);
+        }
+        break;
+      case EstimationOrder::kSecond: {
+        const double* md = mean_dist.data();
+        for (int i = 0; i < nf; ++i) {
+          const int q = free_procs[static_cast<std::size_t>(i)];
+          const double f = arow[q] + u * md[q];
+          sum += f;
+          consider(f, q);
+        }
+        break;
+      }
+      case EstimationOrder::kThird: {
+        const double* sdf = sum_dist_free.data();
+        const double nfree = static_cast<double>(free_procs.size());
+        for (int i = 0; i < nf; ++i) {
+          const int q = free_procs[static_cast<std::size_t>(i)];
+          const double f = arow[q] + u * sdf[q] / nfree;
+          sum += f;
+          consider(f, q);
+        }
+        break;
       }
     }
+    std::sort_heap(heap, heap + hs);  // ascending (f, q)
+    const auto base =
+        static_cast<std::size_t>(t) * static_cast<std::size_t>(top_k);
+    for (int i = 0; i < hs; ++i) {
+      top_f[base + static_cast<std::size_t>(i)] = heap[i].first;
+      top_q[base + static_cast<std::size_t>(i)] = heap[i].second;
+    }
+    row_active[static_cast<std::size_t>(t)] = 1;
+    top_head[static_cast<std::size_t>(t)] = 0;
+    top_size[static_cast<std::size_t>(t)] = hs;
     f_sum[static_cast<std::size_t>(t)] = sum;
-    f_min[static_cast<std::size_t>(t)] = mn;
-    f_argmin[static_cast<std::size_t>(t)] = arg;
+    f_min[static_cast<std::size_t>(t)] =
+        hs > 0 ? heap[0].first : std::numeric_limits<double>::infinity();
+    f_argmin[static_cast<std::size_t>(t)] = hs > 0 ? heap[0].second : -1;
+  }
+
+  /// Row t's argmin processor was consumed: advance to the first buffered
+  /// minimum that is still free, refilling with a full rescan only when the
+  /// buffer is exhausted.  Between rescans the row's f values are unchanged
+  /// (only rows touched in step 4 change, and those are rescanned there),
+  /// so the surviving buffer entries are exact.
+  void advance_row_min(int t) {
+    const auto base =
+        static_cast<std::size_t>(t) * static_cast<std::size_t>(top_k);
+    int h = top_head[static_cast<std::size_t>(t)];
+    const int sz = top_size[static_cast<std::size_t>(t)];
+    while (h < sz &&
+           proc_used[static_cast<std::size_t>(
+               top_q[base + static_cast<std::size_t>(h)])])
+      ++h;
+    if (h >= sz) {
+      rescan_row(t);
+      return;
+    }
+    top_head[static_cast<std::size_t>(t)] = h;
+    f_min[static_cast<std::size_t>(t)] =
+        top_f[base + static_cast<std::size_t>(h)];
+    f_argmin[static_cast<std::size_t>(t)] =
+        top_q[base + static_cast<std::size_t>(h)];
+  }
+
+  /// Rescan every unplaced row.  Rows are independent (each writes only its
+  /// own f_sum/f_min/f_argmin slots), so this is the main parallel kernel of
+  /// the initial scan and of third order's per-cycle refresh.
+  void rescan_all_rows() {
+    support::parallel_for(
+        static_cast<int>(unplaced.size()), kRowGrain, [&](int begin, int end) {
+          for (int i = begin; i < end; ++i)
+            rescan_row(unplaced[static_cast<std::size_t>(i)]);
+        });
   }
 
   /// Pick the unplaced task with maximum gain = F_avg - F_min.
   /// Ties: larger total communication, then lower id.
+  ///
+  /// Gains are compared with a *relative* epsilon: f_sum is maintained by
+  /// incremental subtraction (place() step 1), so two mathematically equal
+  /// gains can differ by O(1e-16 * magnitude) of accumulated drift — and
+  /// with exact `==` the documented tie-break would fire or not depending
+  /// on optimization level (FMA contraction, vectorized sum order).  Gains
+  /// within the tolerance are treated as tied and fall through to the
+  /// comm-bytes / lowest-id rule, which no longer depends on FP noise.
   int select_task() const {
     const double nfree = static_cast<double>(free_procs.size());
+    const double m_min_free = lazy ? m_order[static_cast<std::size_t>(m_head)].first : 0.0;
     int best = -1;
-    double best_gain = -std::numeric_limits<double>::infinity();
-    for (int t = 0; t < n; ++t) {
-      if (task_placed[static_cast<std::size_t>(t)]) continue;
-      const double gain =
-          f_sum[static_cast<std::size_t>(t)] / nfree -
-          f_min[static_cast<std::size_t>(t)];
-      if (gain > best_gain ||
-          (gain == best_gain && best >= 0 &&
-           g.comm_bytes(t) > g.comm_bytes(best))) {
-        best_gain = gain;
+    double best_gain = 0.0;
+    for (const int t : unplaced) {  // ascending, as the tie-break requires
+      double fsum, fmin;
+      if (row_active[static_cast<std::size_t>(t)]) {
+        fsum = f_sum[static_cast<std::size_t>(t)];
+        fmin = f_min[static_cast<std::size_t>(t)];
+      } else {
+        const double u = unplaced_bytes[static_cast<std::size_t>(t)];
+        fsum = u * sum_m_free;
+        fmin = u * m_min_free;
+      }
+      const double gain = fsum / nfree - fmin;
+      if (best < 0) {
         best = t;
+        best_gain = gain;
+        continue;
+      }
+      const double tol =
+          1e-9 * std::max(1.0, std::max(std::abs(gain), std::abs(best_gain)));
+      if (gain > best_gain + tol) {
+        best = t;
+        best_gain = gain;
+      } else if (gain > best_gain - tol &&
+                 g.comm_bytes(t) > g.comm_bytes(best)) {
+        best = t;
+        best_gain = std::max(best_gain, gain);
       }
     }
     return best;
+  }
+
+  /// The free processor minimizing f_est(t, .): the row buffer's head for
+  /// an active row, the shared global head for a passive one (for a
+  /// passive row f is a nonnegative multiple of the shared landscape, so
+  /// the (value, q)-lexicographic global minimum realizes the row
+  /// minimum; a zero-communication task lands there too, any free
+  /// processor being equally good at f == 0).
+  int argmin_proc(int t) const {
+    if (row_active[static_cast<std::size_t>(t)])
+      return f_argmin[static_cast<std::size_t>(t)];
+    return m_order[static_cast<std::size_t>(m_head)].second;
   }
 
   /// Commit task -> proc and update every cached quantity.
   void place(int task, int proc) {
     mapping[static_cast<std::size_t>(task)] = proc;
     task_placed[static_cast<std::size_t>(task)] = 1;
+    unplaced.erase(
+        std::lower_bound(unplaced.begin(), unplaced.end(), task));
 
     const bool incremental = order != EstimationOrder::kThird;
+    const int nu = static_cast<int>(unplaced.size());
 
     // 1. Retire `proc` from the incremental row statistics using the *old*
-    //    f values (non-neighbour rows are otherwise unchanged).
+    //    f values (non-neighbour rows are otherwise unchanged).  Each task
+    //    touches only its own slots — row-parallel.  Passive rows carry no
+    //    per-row state: the shared sum/head update in step 2 covers them.
+    //    Rows whose buffered minimum lived on `proc` land in per-chunk
+    //    stale buckets, concatenated in ascending chunk order for step 5.
+    std::vector<int> stale;
     if (incremental) {
-      for (int t = 0; t < n; ++t) {
-        if (task_placed[static_cast<std::size_t>(t)]) continue;
-        f_sum[static_cast<std::size_t>(t)] -= f_est(t, proc);
-        if (f_argmin[static_cast<std::size_t>(t)] == proc)
-          f_argmin[static_cast<std::size_t>(t)] = -2;  // needs rescan
-      }
+      const int chunks = support::parallel_chunk_count(nu, kTaskGrain);
+      std::vector<std::vector<int>> stale_chunks(
+          static_cast<std::size_t>(chunks));
+      support::parallel_for_chunks(
+          nu, kTaskGrain, [&](int chunk, int begin, int end) {
+            auto& bucket = stale_chunks[static_cast<std::size_t>(chunk)];
+            for (int i = begin; i < end; ++i) {
+              const int t = unplaced[static_cast<std::size_t>(i)];
+              if (!row_active[static_cast<std::size_t>(t)]) continue;
+              f_sum[static_cast<std::size_t>(t)] -= f_est(t, proc);
+              if (f_argmin[static_cast<std::size_t>(t)] == proc)
+                bucket.push_back(t);
+            }
+          });
+      for (const auto& bucket : stale_chunks)
+        stale.insert(stale.end(), bucket.begin(), bucket.end());
     }
 
-    // 2. Remove the processor from the free set.
+    // 2. Remove the processor from the free set; keep the passive rows'
+    //    shared landscape current (head skips consumed processors in
+    //    amortized O(1), the free-sum drops by the consumed entry).
     proc_used[static_cast<std::size_t>(proc)] = 1;
     for (std::size_t i = 0; i < free_procs.size(); ++i) {
       if (free_procs[i] == proc) {
@@ -123,44 +340,81 @@ struct TopoLBState {
         break;
       }
     }
+    if (lazy) {
+      sum_m_free -= order == EstimationOrder::kSecond
+                        ? mean_dist[static_cast<std::size_t>(proc)]
+                        : 0.0;
+      while (m_head < n &&
+             proc_used[static_cast<std::size_t>(
+                 m_order[static_cast<std::size_t>(m_head)].second)])
+        ++m_head;
+    }
 
     // 3. Third order: the free-set mean distances all shift.
     if (order == EstimationOrder::kThird) {
-      for (int q : free_procs)
-        sum_dist_free[static_cast<std::size_t>(q)] -=
-            static_cast<double>(topo.distance(q, proc));
+      const auto drow = dist.row(proc);
+      const int nfree = static_cast<int>(free_procs.size());
+      support::parallel_for(nfree, kProcGrain, [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          const int q = free_procs[static_cast<std::size_t>(i)];
+          sum_dist_free[static_cast<std::size_t>(q)] -=
+              static_cast<double>(drow[q]);
+        }
+      });
     }
 
     if (free_procs.empty()) return;
 
     // 4. Neighbours of the placed task: their unplaced->placed split moved,
     //    so their whole row changes — fold the now-exact distance term into
-    //    assigned_cost and rescan (paper's O(p * delta(t_k)) step).
+    //    assigned_cost (parallel over free processors), then rescan the
+    //    touched rows (parallel over rows; a rescan reads only its own
+    //    row's data, so deferring it past the other rows' updates changes
+    //    nothing).  This is the paper's O(p * delta(t_k)) step.
+    const auto drow = dist.row(proc);
+    const int nfree = static_cast<int>(free_procs.size());
+    std::vector<int> touched;
     for (const graph::Edge& e : g.edges_of(task)) {
       const int tj = e.neighbor;
       if (task_placed[static_cast<std::size_t>(tj)]) continue;
       const auto row =
           static_cast<std::size_t>(tj) * static_cast<std::size_t>(n);
-      for (int q : free_procs)
-        assigned_cost[row + static_cast<std::size_t>(q)] +=
-            e.bytes * static_cast<double>(topo.distance(q, proc));
+      support::parallel_for(nfree, kProcGrain, [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          const int q = free_procs[static_cast<std::size_t>(i)];
+          assigned_cost[row + static_cast<std::size_t>(q)] +=
+              e.bytes * static_cast<double>(drow[q]);
+        }
+      });
       unplaced_bytes[static_cast<std::size_t>(tj)] -= e.bytes;
-      if (incremental) rescan_row(tj);
+      touched.push_back(tj);
+    }
+    if (incremental) {
+      support::parallel_for(
+          static_cast<int>(touched.size()), 1, [&](int begin, int end) {
+            for (int i = begin; i < end; ++i)
+              rescan_row(touched[static_cast<std::size_t>(i)]);
+          });
     }
 
-    // 5. Rows whose minimum lived on the consumed processor.
+    // 5. Rows whose minimum lived on the consumed processor: pop the
+    //    buffered next-best (amortized O(1); full rescan only on a drained
+    //    buffer).  A stale row that step 4 just rescanned advances to its
+    //    fresh head — a no-op.
     if (incremental) {
-      for (int t = 0; t < n; ++t)
-        if (!task_placed[static_cast<std::size_t>(t)] &&
-            f_argmin[static_cast<std::size_t>(t)] == -2)
-          rescan_row(t);
+      support::parallel_for(
+          static_cast<int>(stale.size()), kTaskGrain, [&](int begin, int end) {
+            for (int i = begin; i < end; ++i)
+              advance_row_min(stale[static_cast<std::size_t>(i)]);
+          });
     }
   }
 
   const graph::TaskGraph& g;
-  const topo::Topology& topo;
+  const Dist dist;
   const EstimationOrder order;
   const int n;
+  const bool lazy;  // passive rows share the global landscape (not 3rd order)
 
   std::vector<double> assigned_cost;   // A(t, q), row-major n x n
   std::vector<double> unplaced_bytes;  // U(t)
@@ -169,11 +423,40 @@ struct TopoLBState {
   std::vector<char> task_placed;
   std::vector<char> proc_used;
   std::vector<int> free_procs;  // ascending order is maintained
+  std::vector<int> unplaced;    // ascending order is maintained
   std::vector<double> f_sum;
   std::vector<double> f_min;
   std::vector<int> f_argmin;
+  int top_k = 0;               // min(kTopK, n)
+  std::vector<double> top_f;   // n x top_k row-minima buffers, ascending
+  std::vector<int> top_q;
+  std::vector<int> top_head;   // first possibly-live buffer entry per row
+  std::vector<int> top_size;   // valid entries per row
+  std::vector<char> row_active;  // 0 until the row's first step-4 rescan
+  std::vector<std::pair<double, int>> m_order;  // passive landscape, ascending
+  int m_head = 0;            // first still-free entry of m_order
+  double sum_m_free = 0.0;   // sum of m_order values over free processors
   Mapping mapping;
 };
+
+template <class Dist>
+Mapping run_topolb(const graph::TaskGraph& g, const Dist& dist,
+                   EstimationOrder order) {
+  const int n = g.num_vertices();
+  TopoLBState<Dist> st(g, dist, order);
+  for (int cycle = 0; cycle < n; ++cycle) {
+    if (order == EstimationOrder::kThird && cycle > 0) {
+      // Free-set averages moved last cycle; refresh every row (O(p^2)).
+      st.rescan_all_rows();
+    }
+    const int task = st.select_task();
+    TOPOMAP_ASSERT(task >= 0, "no task selected");
+    const int proc = st.argmin_proc(task);
+    TOPOMAP_ASSERT(proc >= 0, "no free processor for selected task");
+    st.place(task, proc);
+  }
+  return st.mapping;
+}
 
 }  // namespace
 
@@ -181,23 +464,11 @@ Mapping TopoLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
                     Rng& rng) const {
   (void)rng;  // deterministic; see tie-breaking note in the header
   require_square(g, topo);
-  const int n = g.num_vertices();
-  if (n == 0) return {};
-
-  TopoLBState st(g, topo, order_);
-  for (int cycle = 0; cycle < n; ++cycle) {
-    if (order_ == EstimationOrder::kThird) {
-      // Free-set averages moved last cycle; refresh every row (O(p^2)).
-      for (int t = 0; t < n; ++t)
-        if (!st.task_placed[static_cast<std::size_t>(t)]) st.rescan_row(t);
-    }
-    const int task = st.select_task();
-    TOPOMAP_ASSERT(task >= 0, "no task selected");
-    const int proc = st.f_argmin[static_cast<std::size_t>(task)];
-    TOPOMAP_ASSERT(proc >= 0, "no free processor for selected task");
-    st.place(task, proc);
-  }
-  return st.mapping;
+  if (g.num_vertices() == 0) return {};
+  if (mode_ == DistanceMode::kVirtual)
+    return run_topolb(g, detail::VirtualDistance{topo}, order_);
+  const topo::DistanceCache cache(topo);
+  return run_topolb(g, detail::CachedDistance{cache}, order_);
 }
 
 std::string TopoLB::name() const {

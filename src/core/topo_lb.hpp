@@ -27,7 +27,10 @@
 //
 // Tie-breaking (unspecified in the paper, documented in DESIGN.md): task
 // ties by larger total communication then lower id; processor ties by
-// lower id.  The algorithm is fully deterministic.
+// lower id.  Gain comparisons use a relative epsilon so the tie rules do
+// not depend on floating-point noise.  The algorithm is fully
+// deterministic, for any distance mode and any support::parallel thread
+// count.
 #pragma once
 
 #include "core/strategy.hpp"
@@ -38,17 +41,20 @@ enum class EstimationOrder { kFirst = 1, kSecond = 2, kThird = 3 };
 
 class TopoLB final : public MappingStrategy {
  public:
-  explicit TopoLB(EstimationOrder order = EstimationOrder::kSecond)
-      : order_(order) {}
+  explicit TopoLB(EstimationOrder order = EstimationOrder::kSecond,
+                  DistanceMode mode = DistanceMode::kCached)
+      : order_(order), mode_(mode) {}
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
   std::string name() const override;
 
   EstimationOrder order() const { return order_; }
+  DistanceMode mode() const { return mode_; }
 
  private:
   EstimationOrder order_;
+  DistanceMode mode_;
 };
 
 }  // namespace topomap::core

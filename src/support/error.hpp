@@ -39,6 +39,14 @@ namespace detail {
   if (!msg.empty()) os << " — " << msg;
   throw invariant_error(os.str());
 }
+
+[[noreturn]] inline void throw_unreachable(const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": reached unreachable code";
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
 }  // namespace detail
 
 }  // namespace topomap
@@ -57,3 +65,11 @@ namespace detail {
     if (!(expr))                                                            \
       ::topomap::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+/// Mark a structurally unreachable point (e.g. after an exhaustive switch or
+/// a loop guaranteed to return).  Unlike `TOPOMAP_ASSERT(false, ...)`, the
+/// [[noreturn]] callee lets every compiler prove the enclosing function
+/// cannot fall off its end, keeping -Wreturn-type clean at all optimization
+/// levels.  Throws topomap::invariant_error if ever executed.
+#define TOPOMAP_UNREACHABLE(msg) \
+  ::topomap::detail::throw_unreachable(__FILE__, __LINE__, (msg))

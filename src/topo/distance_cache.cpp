@@ -1,0 +1,38 @@
+#include "topo/distance_cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace topomap::topo {
+
+DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
+  TOPOMAP_REQUIRE(n_ >= 1, "distance cache needs >= 1 processor");
+  TOPOMAP_REQUIRE(n_ <= 20000,
+                  "topology too large for a dense distance matrix");
+  const auto un = static_cast<std::size_t>(n_);
+  dist_.resize(un * un);
+  mean_dist_.resize(un);
+
+  // Rows are independent: fill in parallel, reduce per-chunk diameters in
+  // ascending chunk order (max is order-free; kept ordered for form).
+  const int grain = 16;
+  const int chunks = support::parallel_chunk_count(n_, grain);
+  std::vector<int> chunk_max(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for_chunks(n_, grain, [&](int chunk, int begin, int end) {
+    int mx = 0;
+    for (int p = begin; p < end; ++p) {
+      std::uint16_t* row = dist_.data() + static_cast<std::size_t>(p) * un;
+      topo.write_distance_row(p, row);
+      mean_dist_[static_cast<std::size_t>(p)] = topo.mean_distance_from(p);
+      for (std::size_t q = 0; q < un; ++q)
+        mx = std::max(mx, static_cast<int>(row[q]));
+    }
+    chunk_max[static_cast<std::size_t>(chunk)] = mx;
+  });
+  for (int c = 0; c < chunks; ++c)
+    diameter_ = std::max(diameter_, chunk_max[static_cast<std::size_t>(c)]);
+}
+
+}  // namespace topomap::topo

@@ -1,0 +1,62 @@
+// Distance-plane engine: a dense, non-virtual view of a topology's metric.
+//
+// Every mapping hot loop in src/core — TopoLB's row rescans, TopoCentLB's
+// free-processor scan, RefineTopoLB's swap-delta sweep, AnnealingLB's
+// Metropolis chain — funnels through Topology::distance(a, b).  Through the
+// vtable that is a call + (for grids) a div/mod chain per lookup, repeated
+// billions of times per mapping run.  DistanceCache materializes the whole
+// p x p hop-distance matrix once (row-major uint16_t, built via the batch
+// Topology::write_distance_row hook, rows filled in parallel) plus the
+// per-source mean distances, and hands the kernels raw row pointers.
+//
+// Memory: 2 bytes per pair — 800 MB at the 20000-node cap shared with
+// GraphTopology, 2 MB for a 1024-node BlueGene partition.  Construction is
+// O(p^2) with a small constant (closed-form batch fills for grids and
+// hypercubes, memcpy for GraphTopology).
+//
+// Determinism contract: distance(a, b) returns exactly the virtual
+// Topology::distance(a, b), and mean_distance_from(p) stores *the virtual
+// method's value* (not a matrix-derived re-computation), so kernels running
+// on the cache produce results byte-identical to virtual dispatch — the
+// property tests assert this for every strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace topomap::topo {
+
+class DistanceCache {
+ public:
+  /// Build the dense matrix for `topo`.  Requires size() <= 20000 (the
+  /// dense-matrix cap); throws precondition_error beyond it.
+  explicit DistanceCache(const Topology& topo);
+
+  int size() const { return n_; }
+
+  /// Row pointer: row(a)[b] == distance(a, b).  The fastest access path —
+  /// hoist it out of inner loops over b.
+  const std::uint16_t* row(int a) const {
+    return dist_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(n_);
+  }
+
+  /// Bounds-unchecked scalar lookup.
+  int distance(int a, int b) const { return row(a)[b]; }
+
+  /// The topology's mean_distance_from(p), captured at build time.
+  double mean_distance_from(int p) const {
+    return mean_dist_[static_cast<std::size_t>(p)];
+  }
+
+  int diameter() const { return diameter_; }
+
+ private:
+  int n_ = 0;
+  int diameter_ = 0;
+  std::vector<std::uint16_t> dist_;  // row-major n x n
+  std::vector<double> mean_dist_;    // virtual mean_distance_from values
+};
+
+}  // namespace topomap::topo

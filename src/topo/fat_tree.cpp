@@ -34,12 +34,12 @@ int FatTree::distance(int a, int b) const {
 
 std::vector<int> FatTree::neighbors(int p) const {
   check_node(p);
-  const int base = (p / arity_) * arity_;
-  std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(arity_ - 1));
-  for (int q = base; q < base + arity_; ++q)
-    if (q != p) out.push_back(q);
-  return out;
+  throw precondition_error(
+      "FatTree::neighbors: fat-tree links attach leaves to switches, which "
+      "are not processors, so no processor-level adjacency can realise the "
+      "2*(L-lcp) switch-hop distances (leaves under one edge switch are "
+      "already 2 hops apart); use a grid or graph topology for "
+      "adjacency-level experiments");
 }
 
 std::string FatTree::name() const {

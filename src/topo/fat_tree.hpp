@@ -4,8 +4,9 @@
 // distance between two leaves is 2*(L - lcp) where lcp is the length of the
 // common prefix of their base-k addresses (hops up to the lowest common
 // switch and back down).  This is a *distance model*: intermediate switches
-// are not processors, so route() — which returns processor sequences — is
-// unsupported.  Mapping strategies only require distance(), which is the
+// are not processors, so route() and neighbors() — which speak in processor
+// sequences / processor adjacency — are unsupported and throw.
+// Mapping strategies only require distance(), which is the
 // point the paper makes: on fat-trees wiring grows as p log p and mapping
 // matters far less, which our benches can quantify.
 #pragma once
@@ -26,7 +27,14 @@ class FatTree final : public Topology {
   int size() const override { return size_; }
   int distance(int a, int b) const override;
 
-  /// Leaves under the same edge switch (distance-2 peers).
+  /// Unsupported — every fat-tree link attaches a leaf to a *switch*, so no
+  /// processor-level adjacency is consistent with distance() (the closest
+  /// leaves are already 2 switch-hops apart).  An earlier version returned
+  /// the same-edge-switch leaves, which left the adjacency graph
+  /// disconnected while distance() reported finite cross-subtree values —
+  /// GraphTopology::from_topology then failed with a misleading
+  /// "disconnected" error and directed_link_count() undercounted.  Like
+  /// route(), this now throws precondition_error up front.
   std::vector<int> neighbors(int p) const override;
 
   std::string name() const override;

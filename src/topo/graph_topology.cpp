@@ -90,4 +90,10 @@ double GraphTopology::mean_distance_from(int p) const {
   return mean_dist_[static_cast<std::size_t>(p)];
 }
 
+void GraphTopology::write_distance_row(int p, std::uint16_t* out) const {
+  check_node(p);
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  std::copy_n(dist_.data() + static_cast<std::size_t>(p) * n, n, out);
+}
+
 }  // namespace topomap::topo

@@ -34,6 +34,9 @@ class GraphTopology final : public Topology {
   int diameter() const override { return diameter_; }
   double mean_distance_from(int p) const override;
 
+  /// Batch row fill for DistanceCache: memcpy from the stored BFS matrix.
+  void write_distance_row(int p, std::uint16_t* out) const override;
+
  private:
   void build_distances();
 

@@ -41,6 +41,14 @@ double Hypercube::mean_pairwise_distance() const {
   return static_cast<double>(dim_) / 2.0;
 }
 
+void Hypercube::write_distance_row(int p, std::uint16_t* out) const {
+  check_node(p);
+  const int n = size();
+  for (int q = 0; q < n; ++q)
+    out[q] = static_cast<std::uint16_t>(
+        std::popcount(static_cast<unsigned>(p ^ q)));
+}
+
 std::vector<int> Hypercube::route(int a, int b) const {
   check_node(a);
   check_node(b);

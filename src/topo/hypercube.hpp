@@ -27,6 +27,9 @@ class Hypercube final : public Topology {
   /// E-cube route: corrects differing bits from least to most significant.
   std::vector<int> route(int a, int b) const override;
 
+  /// Batch row fill for DistanceCache: one popcount per entry.
+  void write_distance_row(int p, std::uint16_t* out) const override;
+
   int dimensions() const { return dim_; }
 
  private:

@@ -61,7 +61,14 @@ std::vector<int> Topology::bfs_route(int a, int b) const {
       frontier.push_back(v);
     }
   }
-  TOPOMAP_ASSERT(false, "topology graph is disconnected");
+  TOPOMAP_UNREACHABLE("topology graph is disconnected");
+}
+
+void Topology::write_distance_row(int p, std::uint16_t* out) const {
+  check_node(p);
+  const int n = size();
+  for (int q = 0; q < n; ++q)
+    out[q] = static_cast<std::uint16_t>(distance(p, q));
 }
 
 int Topology::directed_link_count() const {

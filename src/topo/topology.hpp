@@ -6,6 +6,7 @@
 // simulator and link-load metrics additionally need concrete routes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,14 @@ class Topology {
 
   /// Number of directed links (each undirected link counts twice).
   int directed_link_count() const;
+
+  /// Fill out[q] = distance(p, q) for every processor q — one row of the
+  /// dense distance matrix.  The default loops over the virtual distance();
+  /// concrete topologies override with batch closed forms (no per-element
+  /// division/virtual dispatch), which is what makes building a
+  /// topo::DistanceCache cheap.  `out` must hold size() entries; distances
+  /// must fit in uint16_t (guaranteed by the 20000-node cache cap).
+  virtual void write_distance_row(int p, std::uint16_t* out) const;
 
  protected:
   /// BFS shortest path from a to b over neighbors(); default route() impl.

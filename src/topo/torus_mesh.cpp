@@ -162,6 +162,52 @@ int TorusMesh::diameter() const {
   return total;
 }
 
+void TorusMesh::write_distance_row(int p, std::uint16_t* out) const {
+  check_node(p);
+  const auto ndims = dims_.size();
+  // dim_table[d][y] = distance along dimension d from p's coordinate to y.
+  std::vector<std::vector<int>> dim_table(ndims);
+  {
+    int rest = p;
+    for (std::size_t d = 0; d < ndims; ++d) {
+      const int s = dims_[d];
+      const int x = rest % s;
+      rest /= s;
+      dim_table[d].resize(static_cast<std::size_t>(s));
+      for (int y = 0; y < s; ++y)
+        dim_table[d][static_cast<std::size_t>(y)] =
+            dim_distance(static_cast<int>(d), x, y);
+    }
+  }
+  // Build the row by block replication: fill the innermost dimension's
+  // stretch once (plus every outer dimension's contribution at coordinate
+  // 0), then for each outer dimension copy the block s-1 times shifted by
+  // that dimension's delta against coordinate 0.  One add per entry with
+  // sequential stores — this runs inside the DistanceCache build over all
+  // p, so the constant matters.
+  {
+    int outer0 = 0;
+    for (std::size_t d = 1; d < ndims; ++d) outer0 += dim_table[d][0];
+    const auto& t0 = dim_table[0];
+    const int s0 = dims_[0];
+    for (int y = 0; y < s0; ++y)
+      out[y] = static_cast<std::uint16_t>(t0[static_cast<std::size_t>(y)] +
+                                          outer0);
+  }
+  int len = dims_[0];
+  for (std::size_t d = 1; d < ndims; ++d) {
+    const auto& table = dim_table[d];
+    const int s = dims_[d];
+    for (int y = 1; y < s; ++y) {
+      const int delta = table[static_cast<std::size_t>(y)] - table[0];
+      std::uint16_t* dst = out + static_cast<std::ptrdiff_t>(y) * len;
+      for (int i = 0; i < len; ++i)
+        dst[i] = static_cast<std::uint16_t>(out[i] + delta);
+    }
+    len *= s;
+  }
+}
+
 std::vector<int> TorusMesh::route(int a, int b) const {
   check_node(a);
   check_node(b);

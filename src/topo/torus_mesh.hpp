@@ -36,6 +36,10 @@ class TorusMesh final : public Topology {
   /// way around on wrapped dimensions, lower direction on ties), then 1, ...
   std::vector<int> route(int a, int b) const override;
 
+  /// Batch row fill for DistanceCache: per-dimension distance tables plus a
+  /// mixed-radix odometer make it O(1) per entry, no division.
+  void write_distance_row(int p, std::uint16_t* out) const override;
+
   int dimensions() const { return static_cast<int>(dims_.size()); }
   const std::vector<int>& dims() const { return dims_; }
   bool wraps(int dim) const { return wrap_[static_cast<std::size_t>(dim)]; }

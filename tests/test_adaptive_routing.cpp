@@ -134,12 +134,13 @@ TEST(AdaptiveRouting, AppLevelNeverSlowerThanDeterministicHere) {
 }
 
 TEST(AdaptiveRouting, InconsistentTopologyDiagnosed) {
-  // FatTree's distances are not realised by its sibling adjacency, so
-  // adaptive routing cannot make progress and must say so.
+  // FatTree is a pure distance model: its links attach leaves to switches,
+  // so it has no processor-level adjacency at all.  neighbors() now rejects
+  // up front, which surfaces at Network construction instead of as a
+  // confusing mid-simulation stall.
   const topo::FatTree f(2, 2);
-  Network net(f, adaptive_params(), ServiceModel::kWormhole, nullptr);
-  net.inject(0.0, 0, 3, 10.0, 0);  // distance 4, different subtree
-  EXPECT_THROW(net.run_until_idle(), invariant_error);
+  EXPECT_THROW(Network(f, adaptive_params(), ServiceModel::kWormhole, nullptr),
+               precondition_error);
 }
 
 }  // namespace

@@ -68,6 +68,36 @@ TEST(TopoLB, DeterministicAcrossCalls) {
   EXPECT_EQ(TopoLB().map(g, t, r1), TopoLB().map(g, t, r2));
 }
 
+TEST(TopoLB, SymmetricTiesBreakDeterministically) {
+  // A bidirectional ring on a torus: every task has the same degree, edge
+  // weight, and total communication, so the selection gains are
+  // *mathematically* equal for whole orbits of tasks — exactly the regime
+  // where the old bit-exact `==` tie test silently depended on FP rounding
+  // of the incrementally-maintained F_sum.  With the relative-epsilon
+  // comparison the documented rule (comm bytes, then lowest id) decides,
+  // so repeated runs, different seeds, and both estimation extremes must
+  // agree with themselves.
+  const TaskGraph g = graph::ring(16, 4.0);
+  const TorusMesh t = TorusMesh::torus({4, 4});
+  for (EstimationOrder order : {EstimationOrder::kFirst,
+                                EstimationOrder::kSecond,
+                                EstimationOrder::kThird}) {
+    Rng r1(1), r2(12345);
+    const Mapping m1 = TopoLB(order).map(g, t, r1);
+    const Mapping m2 = TopoLB(order).map(g, t, r2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_TRUE(is_one_to_one(m1, t));
+    // A ring embeds into a torus with all-neighbour distances <= 2.
+    EXPECT_LE(hops_per_byte(g, t, m1), 2.0);
+  }
+  // The ring is vertex-transitive, so the first selection is a pure tie
+  // orbit: the lowest-id task must win and land on processor 0 (lowest-id
+  // free processor of a node-transitive torus).
+  Rng rng(7);
+  const Mapping m = TopoLB().map(g, t, rng);
+  EXPECT_EQ(m[0], 0);
+}
+
 TEST(TopoLB, RequiresSquareProblem) {
   const auto g = stencil_2d(3, 3, 1.0);
   const TorusMesh t = TorusMesh::torus({4, 4});

@@ -1,0 +1,181 @@
+// Distance-plane engine tests: the dense cache must agree exactly with
+// virtual Topology dispatch, every strategy must produce byte-identical
+// mappings in cached and virtual modes, results must not depend on the
+// worker-pool size, and known-good hop-bytes goldens pin the TopoLB /
+// TopoCentLB outputs against silent drift.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "topo/distance_cache.hpp"
+#include "topo/factory.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace topomap {
+namespace {
+
+using core::Mapping;
+using graph::TaskGraph;
+using topo::DistanceCache;
+using topo::make_topology;
+
+const char* const kTopoSpecs[] = {
+    "torus:6x6",   "mesh:5x5",  "torus:3x3x3", "mesh:4x3x2",
+    "hypercube:5", "fattree:3x3", "dragonfly:5",
+};
+
+TEST(DistanceCache, MatchesVirtualDistanceExactly) {
+  for (const char* spec : kTopoSpecs) {
+    const auto t = make_topology(spec);
+    const DistanceCache cache(*t);
+    ASSERT_EQ(cache.size(), t->size());
+    int max_seen = 0;
+    for (int a = 0; a < t->size(); ++a) {
+      const std::uint16_t* row = cache.row(a);
+      for (int b = 0; b < t->size(); ++b) {
+        ASSERT_EQ(static_cast<int>(row[b]), t->distance(a, b))
+            << spec << " (" << a << "," << b << ")";
+        max_seen = std::max(max_seen, static_cast<int>(row[b]));
+      }
+      // The determinism contract: the *virtual* mean, bit for bit.
+      ASSERT_EQ(cache.mean_distance_from(a), t->mean_distance_from(a)) << spec;
+    }
+    EXPECT_EQ(cache.diameter(), max_seen) << spec;
+  }
+}
+
+TEST(DistanceCache, RejectsOversizedTopology) {
+  // Beyond the 20000-node dense-matrix cap the cache must refuse instead of
+  // silently allocating ~GBs.  The topology itself stays cheap to build.
+  EXPECT_NO_THROW(DistanceCache(*make_topology("mesh:16x16")));
+  EXPECT_THROW(DistanceCache(*make_topology("fattree:2x15")),  // 32768 leaves
+               precondition_error);
+}
+
+// Every strategy the factory can build, in cached vs virtual mode, on a
+// mixed random workload: the mappings must be byte-identical.  This is the
+// property that lets production default to kCached without re-validating
+// any paper experiment.
+class CacheEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(CacheEquivalenceTest, CachedAndVirtualMappingsAreByteIdentical) {
+  const auto [strategy_spec, topo_spec] = GetParam();
+  const auto t = make_topology(topo_spec);
+  Rng graph_rng(7);
+  const TaskGraph g =
+      graph::random_graph(t->size(), 3.0 / t->size() + 0.08, 1.0, 64.0,
+                          graph_rng, /*require_connected=*/false);
+  const auto cached = core::make_strategy(strategy_spec,
+                                          core::DistanceMode::kCached);
+  const auto virt = core::make_strategy(strategy_spec,
+                                        core::DistanceMode::kVirtual);
+  Rng rng_c(1234), rng_v(1234);
+  const Mapping mc = cached->map(g, *t, rng_c);
+  const Mapping mv = virt->map(g, *t, rng_v);
+  EXPECT_EQ(mc, mv);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values("topolb", "topolb1", "topolb3", "topocent",
+                          "topolb+refine", "topocent+refine", "anneal",
+                          "anneal-warm"),
+        ::testing::Values("torus:5x5", "mesh:4x4", "torus:3x3x3",
+                          "hypercube:4", "fattree:2x4", "dragonfly:4")));
+
+// The parallel kernels must give the same answer for any pool size — the
+// chunk layout depends only on (n, grain), and reductions combine in fixed
+// chunk order.
+TEST(DistanceCache, MappingsInvariantUnderThreadCount) {
+  const auto t = make_topology("torus:6x6");
+  const TaskGraph g = graph::stencil_2d(6, 6, 3.0);
+  std::vector<Mapping> results;
+  for (const int threads : {1, 2, 4}) {
+    support::set_num_threads(threads);
+    for (const char* spec : {"topolb", "topolb3", "topocent",
+                             "topolb+refine"}) {
+      Rng rng(42);
+      results.push_back(core::make_strategy(spec)->map(g, *t, rng));
+    }
+  }
+  support::set_num_threads(1);
+  const std::size_t per_round = 4;
+  for (std::size_t r = 1; r < 3; ++r)
+    for (std::size_t i = 0; i < per_round; ++i)
+      EXPECT_EQ(results[i], results[r * per_round + i]) << "strategy " << i;
+}
+
+// Golden hop-bytes for the deterministic strategies on stencil workloads.
+// These pin the exact tie-break behaviour (including the relative-epsilon
+// gain comparison in TopoLB::select_task); an unintended change to any
+// kernel shows up here as a hop-bytes shift.
+struct Golden {
+  const char* strategy;
+  const char* topo;
+  int side;
+  double hop_bytes;
+};
+
+TEST(DistanceCache, GoldenHopBytesOnStencils) {
+  const Golden goldens[] = {
+      {"topolb", "torus:6x6", 6, 180.0},   {"topolb", "mesh:5x5", 5, 144.0},
+      {"topolb", "torus:4x4", 4, 72.0},    {"topolb1", "torus:6x6", 6, 180.0},
+      {"topolb1", "mesh:5x5", 5, 216.0},   {"topolb1", "torus:4x4", 4, 72.0},
+      {"topolb3", "torus:6x6", 6, 273.0},  {"topolb3", "mesh:5x5", 5, 144.0},
+      {"topolb3", "torus:4x4", 4, 84.0},   {"topocent", "torus:6x6", 6, 294.0},
+      {"topocent", "mesh:5x5", 5, 219.0},  {"topocent", "torus:4x4", 4, 72.0},
+      {"topolb+refine", "torus:6x6", 6, 180.0},
+      {"topolb+refine", "mesh:5x5", 5, 120.0},
+      {"topolb+refine", "torus:4x4", 4, 72.0},
+  };
+  for (const Golden& gold : goldens) {
+    const auto t = make_topology(gold.topo);
+    const TaskGraph g = graph::stencil_2d(gold.side, gold.side, 3.0);
+    Rng rng(42);
+    const Mapping m = core::make_strategy(gold.strategy)->map(g, *t, rng);
+    EXPECT_EQ(core::hop_bytes(g, *t, m), gold.hop_bytes)
+        << gold.strategy << " on " << gold.topo;
+  }
+}
+
+// hop_bytes read through a cache is bit-identical to the virtual overload.
+TEST(DistanceCache, HopBytesOverloadsAgree) {
+  for (const char* spec : kTopoSpecs) {
+    const auto t = make_topology(spec);
+    const DistanceCache cache(*t);
+    Rng rng(3);
+    const TaskGraph g =
+        graph::random_graph(t->size(), 0.2, 1.0, 32.0, rng,
+                            /*require_connected=*/false);
+    Mapping m = core::identity_mapping(t->size());
+    EXPECT_EQ(core::hop_bytes(g, *t, m), core::hop_bytes(g, cache, m)) << spec;
+  }
+}
+
+// FatTree is a distance model with no processor-level adjacency; the
+// regression here is that it used to *return* a disconnected sibling
+// adjacency, which made GraphTopology::from_topology fail with a misleading
+// "disconnected" diagnosis and undercounted directed_link_count.
+TEST(FatTreeAdjacency, NeighborsRejectsUpFront) {
+  const topo::FatTree f(2, 3);
+  EXPECT_THROW(f.neighbors(0), precondition_error);
+  EXPECT_THROW(f.route(0, 5), precondition_error);
+  // Distances stay fully supported (that is the model's whole job).
+  EXPECT_EQ(f.distance(0, 1), 2);
+  EXPECT_EQ(f.distance(0, 7), 6);
+  EXPECT_NO_THROW(DistanceCache{f});
+}
+
+}  // namespace
+}  // namespace topomap
