@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_remap.dir/ablation_dynamic_remap.cpp.o"
+  "CMakeFiles/ablation_dynamic_remap.dir/ablation_dynamic_remap.cpp.o.d"
+  "ablation_dynamic_remap"
+  "ablation_dynamic_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

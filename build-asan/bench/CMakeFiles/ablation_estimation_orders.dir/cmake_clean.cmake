@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimation_orders.dir/ablation_estimation_orders.cpp.o"
+  "CMakeFiles/ablation_estimation_orders.dir/ablation_estimation_orders.cpp.o.d"
+  "ablation_estimation_orders"
+  "ablation_estimation_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimation_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_netsim_models.dir/ablation_netsim_models.cpp.o"
+  "CMakeFiles/ablation_netsim_models.dir/ablation_netsim_models.cpp.o.d"
+  "ablation_netsim_models"
+  "ablation_netsim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_netsim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

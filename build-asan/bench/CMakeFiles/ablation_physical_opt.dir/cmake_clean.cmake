@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_physical_opt.dir/ablation_physical_opt.cpp.o"
+  "CMakeFiles/ablation_physical_opt.dir/ablation_physical_opt.cpp.o.d"
+  "ablation_physical_opt"
+  "ablation_physical_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_physical_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strategy_shootout.dir/ablation_strategy_shootout.cpp.o"
+  "CMakeFiles/ablation_strategy_shootout.dir/ablation_strategy_shootout.cpp.o.d"
+  "ablation_strategy_shootout"
+  "ablation_strategy_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strategy_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

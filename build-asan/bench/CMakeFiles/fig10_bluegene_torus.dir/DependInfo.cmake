@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_bluegene_torus.cpp" "bench/CMakeFiles/fig10_bluegene_torus.dir/fig10_bluegene_torus.cpp.o" "gcc" "bench/CMakeFiles/fig10_bluegene_torus.dir/fig10_bluegene_torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/runtime/CMakeFiles/topomap_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netsim/CMakeFiles/topomap_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/topomap_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/partition/CMakeFiles/topomap_partition.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/topomap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/topomap_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/topomap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bluegene_torus.dir/fig10_bluegene_torus.cpp.o"
+  "CMakeFiles/fig10_bluegene_torus.dir/fig10_bluegene_torus.cpp.o.d"
+  "fig10_bluegene_torus"
+  "fig10_bluegene_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bluegene_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

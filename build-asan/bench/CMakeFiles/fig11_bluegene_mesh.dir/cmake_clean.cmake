@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bluegene_mesh.dir/fig11_bluegene_mesh.cpp.o"
+  "CMakeFiles/fig11_bluegene_mesh.dir/fig11_bluegene_mesh.cpp.o.d"
+  "fig11_bluegene_mesh"
+  "fig11_bluegene_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bluegene_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

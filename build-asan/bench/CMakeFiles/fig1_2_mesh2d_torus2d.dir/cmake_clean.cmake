@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_2_mesh2d_torus2d.dir/fig1_2_mesh2d_torus2d.cpp.o"
+  "CMakeFiles/fig1_2_mesh2d_torus2d.dir/fig1_2_mesh2d_torus2d.cpp.o.d"
+  "fig1_2_mesh2d_torus2d"
+  "fig1_2_mesh2d_torus2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_2_mesh2d_torus2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_2_mesh2d_torus2d.
+# This may be replaced when dependencies are built.

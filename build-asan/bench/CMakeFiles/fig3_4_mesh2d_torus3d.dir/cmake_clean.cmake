@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_mesh2d_torus3d.dir/fig3_4_mesh2d_torus3d.cpp.o"
+  "CMakeFiles/fig3_4_mesh2d_torus3d.dir/fig3_4_mesh2d_torus3d.cpp.o.d"
+  "fig3_4_mesh2d_torus3d"
+  "fig3_4_mesh2d_torus3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_mesh2d_torus3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_4_mesh2d_torus3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_leanmd_torus3d.dir/fig6_leanmd_torus3d.cpp.o"
+  "CMakeFiles/fig6_leanmd_torus3d.dir/fig6_leanmd_torus3d.cpp.o.d"
+  "fig6_leanmd_torus3d"
+  "fig6_leanmd_torus3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_leanmd_torus3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

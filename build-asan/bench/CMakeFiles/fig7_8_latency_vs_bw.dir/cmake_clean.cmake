@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_8_latency_vs_bw.dir/fig7_8_latency_vs_bw.cpp.o"
+  "CMakeFiles/fig7_8_latency_vs_bw.dir/fig7_8_latency_vs_bw.cpp.o.d"
+  "fig7_8_latency_vs_bw"
+  "fig7_8_latency_vs_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_8_latency_vs_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

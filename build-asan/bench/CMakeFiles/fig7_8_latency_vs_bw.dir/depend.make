@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_8_latency_vs_bw.
+# This may be replaced when dependencies are built.

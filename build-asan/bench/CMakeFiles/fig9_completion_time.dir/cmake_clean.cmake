@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_completion_time.dir/fig9_completion_time.cpp.o"
+  "CMakeFiles/fig9_completion_time.dir/fig9_completion_time.cpp.o.d"
+  "fig9_completion_time"
+  "fig9_completion_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_completion_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mapping_runtime.dir/micro_mapping_runtime.cpp.o"
+  "CMakeFiles/micro_mapping_runtime.dir/micro_mapping_runtime.cpp.o.d"
+  "micro_mapping_runtime"
+  "micro_mapping_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mapping_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

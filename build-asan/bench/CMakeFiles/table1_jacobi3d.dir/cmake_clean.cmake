@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_jacobi3d.dir/table1_jacobi3d.cpp.o"
+  "CMakeFiles/table1_jacobi3d.dir/table1_jacobi3d.cpp.o.d"
+  "table1_jacobi3d"
+  "table1_jacobi3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_jacobi3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_simulation.dir/jacobi_simulation.cpp.o"
+  "CMakeFiles/jacobi_simulation.dir/jacobi_simulation.cpp.o.d"
+  "jacobi_simulation"
+  "jacobi_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_pipeline.dir/md_pipeline.cpp.o"
+  "CMakeFiles/md_pipeline.dir/md_pipeline.cpp.o.d"
+  "md_pipeline"
+  "md_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_rank_reorder.dir/mpi_rank_reorder.cpp.o"
+  "CMakeFiles/mpi_rank_reorder.dir/mpi_rank_reorder.cpp.o.d"
+  "mpi_rank_reorder"
+  "mpi_rank_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_rank_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

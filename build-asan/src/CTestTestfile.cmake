@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("topo")
+subdirs("graph")
+subdirs("partition")
+subdirs("core")
+subdirs("netsim")
+subdirs("runtime")

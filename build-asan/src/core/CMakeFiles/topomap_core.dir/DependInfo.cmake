@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing_lb.cpp" "src/core/CMakeFiles/topomap_core.dir/annealing_lb.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/annealing_lb.cpp.o.d"
+  "/root/repo/src/core/baseline_lb.cpp" "src/core/CMakeFiles/topomap_core.dir/baseline_lb.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/baseline_lb.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/topomap_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/link_refine.cpp" "src/core/CMakeFiles/topomap_core.dir/link_refine.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/link_refine.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/topomap_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/topomap_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/recursive_map.cpp" "src/core/CMakeFiles/topomap_core.dir/recursive_map.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/recursive_map.cpp.o.d"
+  "/root/repo/src/core/refine_topo_lb.cpp" "src/core/CMakeFiles/topomap_core.dir/refine_topo_lb.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/refine_topo_lb.cpp.o.d"
+  "/root/repo/src/core/topo_cent_lb.cpp" "src/core/CMakeFiles/topomap_core.dir/topo_cent_lb.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/topo_cent_lb.cpp.o.d"
+  "/root/repo/src/core/topo_lb.cpp" "src/core/CMakeFiles/topomap_core.dir/topo_lb.cpp.o" "gcc" "src/core/CMakeFiles/topomap_core.dir/topo_lb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/partition/CMakeFiles/topomap_partition.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/topomap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/topomap_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/topomap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

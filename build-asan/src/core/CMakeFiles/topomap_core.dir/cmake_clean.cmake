@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_core.dir/annealing_lb.cpp.o"
+  "CMakeFiles/topomap_core.dir/annealing_lb.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/baseline_lb.cpp.o"
+  "CMakeFiles/topomap_core.dir/baseline_lb.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/factory.cpp.o"
+  "CMakeFiles/topomap_core.dir/factory.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/link_refine.cpp.o"
+  "CMakeFiles/topomap_core.dir/link_refine.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/mapping.cpp.o"
+  "CMakeFiles/topomap_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/metrics.cpp.o"
+  "CMakeFiles/topomap_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/recursive_map.cpp.o"
+  "CMakeFiles/topomap_core.dir/recursive_map.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/refine_topo_lb.cpp.o"
+  "CMakeFiles/topomap_core.dir/refine_topo_lb.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/topo_cent_lb.cpp.o"
+  "CMakeFiles/topomap_core.dir/topo_cent_lb.cpp.o.d"
+  "CMakeFiles/topomap_core.dir/topo_lb.cpp.o"
+  "CMakeFiles/topomap_core.dir/topo_lb.cpp.o.d"
+  "libtopomap_core.a"
+  "libtopomap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builders.cpp" "src/graph/CMakeFiles/topomap_graph.dir/builders.cpp.o" "gcc" "src/graph/CMakeFiles/topomap_graph.dir/builders.cpp.o.d"
+  "/root/repo/src/graph/factory.cpp" "src/graph/CMakeFiles/topomap_graph.dir/factory.cpp.o" "gcc" "src/graph/CMakeFiles/topomap_graph.dir/factory.cpp.o.d"
+  "/root/repo/src/graph/quotient.cpp" "src/graph/CMakeFiles/topomap_graph.dir/quotient.cpp.o" "gcc" "src/graph/CMakeFiles/topomap_graph.dir/quotient.cpp.o.d"
+  "/root/repo/src/graph/synthetic_md.cpp" "src/graph/CMakeFiles/topomap_graph.dir/synthetic_md.cpp.o" "gcc" "src/graph/CMakeFiles/topomap_graph.dir/synthetic_md.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/topomap_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/topomap_graph.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/topomap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_graph.dir/builders.cpp.o"
+  "CMakeFiles/topomap_graph.dir/builders.cpp.o.d"
+  "CMakeFiles/topomap_graph.dir/factory.cpp.o"
+  "CMakeFiles/topomap_graph.dir/factory.cpp.o.d"
+  "CMakeFiles/topomap_graph.dir/quotient.cpp.o"
+  "CMakeFiles/topomap_graph.dir/quotient.cpp.o.d"
+  "CMakeFiles/topomap_graph.dir/synthetic_md.cpp.o"
+  "CMakeFiles/topomap_graph.dir/synthetic_md.cpp.o.d"
+  "CMakeFiles/topomap_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/topomap_graph.dir/task_graph.cpp.o.d"
+  "libtopomap_graph.a"
+  "libtopomap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

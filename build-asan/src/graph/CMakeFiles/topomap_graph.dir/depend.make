@@ -1,0 +1,2 @@
+# Empty dependencies file for topomap_graph.
+# This may be replaced when dependencies are built.

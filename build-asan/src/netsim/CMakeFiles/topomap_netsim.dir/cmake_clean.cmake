@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_netsim.dir/app.cpp.o"
+  "CMakeFiles/topomap_netsim.dir/app.cpp.o.d"
+  "CMakeFiles/topomap_netsim.dir/network.cpp.o"
+  "CMakeFiles/topomap_netsim.dir/network.cpp.o.d"
+  "libtopomap_netsim.a"
+  "libtopomap_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

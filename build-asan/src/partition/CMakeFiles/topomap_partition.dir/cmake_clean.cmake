@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_partition.dir/greedy_partition.cpp.o"
+  "CMakeFiles/topomap_partition.dir/greedy_partition.cpp.o.d"
+  "CMakeFiles/topomap_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/topomap_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/topomap_partition.dir/partition.cpp.o"
+  "CMakeFiles/topomap_partition.dir/partition.cpp.o.d"
+  "libtopomap_partition.a"
+  "libtopomap_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopomap_partition.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/apps.cpp" "src/runtime/CMakeFiles/topomap_runtime.dir/apps.cpp.o" "gcc" "src/runtime/CMakeFiles/topomap_runtime.dir/apps.cpp.o.d"
+  "/root/repo/src/runtime/chare.cpp" "src/runtime/CMakeFiles/topomap_runtime.dir/chare.cpp.o" "gcc" "src/runtime/CMakeFiles/topomap_runtime.dir/chare.cpp.o.d"
+  "/root/repo/src/runtime/dynamic_lb.cpp" "src/runtime/CMakeFiles/topomap_runtime.dir/dynamic_lb.cpp.o" "gcc" "src/runtime/CMakeFiles/topomap_runtime.dir/dynamic_lb.cpp.o.d"
+  "/root/repo/src/runtime/lb_database.cpp" "src/runtime/CMakeFiles/topomap_runtime.dir/lb_database.cpp.o" "gcc" "src/runtime/CMakeFiles/topomap_runtime.dir/lb_database.cpp.o.d"
+  "/root/repo/src/runtime/lb_manager.cpp" "src/runtime/CMakeFiles/topomap_runtime.dir/lb_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/topomap_runtime.dir/lb_manager.cpp.o.d"
+  "/root/repo/src/runtime/rank_reorder.cpp" "src/runtime/CMakeFiles/topomap_runtime.dir/rank_reorder.cpp.o" "gcc" "src/runtime/CMakeFiles/topomap_runtime.dir/rank_reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/topomap_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/partition/CMakeFiles/topomap_partition.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/topomap_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/topomap_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/topomap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_runtime.dir/apps.cpp.o"
+  "CMakeFiles/topomap_runtime.dir/apps.cpp.o.d"
+  "CMakeFiles/topomap_runtime.dir/chare.cpp.o"
+  "CMakeFiles/topomap_runtime.dir/chare.cpp.o.d"
+  "CMakeFiles/topomap_runtime.dir/dynamic_lb.cpp.o"
+  "CMakeFiles/topomap_runtime.dir/dynamic_lb.cpp.o.d"
+  "CMakeFiles/topomap_runtime.dir/lb_database.cpp.o"
+  "CMakeFiles/topomap_runtime.dir/lb_database.cpp.o.d"
+  "CMakeFiles/topomap_runtime.dir/lb_manager.cpp.o"
+  "CMakeFiles/topomap_runtime.dir/lb_manager.cpp.o.d"
+  "CMakeFiles/topomap_runtime.dir/rank_reorder.cpp.o"
+  "CMakeFiles/topomap_runtime.dir/rank_reorder.cpp.o.d"
+  "libtopomap_runtime.a"
+  "libtopomap_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_support.dir/cli.cpp.o"
+  "CMakeFiles/topomap_support.dir/cli.cpp.o.d"
+  "CMakeFiles/topomap_support.dir/parallel.cpp.o"
+  "CMakeFiles/topomap_support.dir/parallel.cpp.o.d"
+  "CMakeFiles/topomap_support.dir/table.cpp.o"
+  "CMakeFiles/topomap_support.dir/table.cpp.o.d"
+  "libtopomap_support.a"
+  "libtopomap_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

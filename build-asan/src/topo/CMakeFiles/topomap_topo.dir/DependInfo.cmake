@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/distance_cache.cpp" "src/topo/CMakeFiles/topomap_topo.dir/distance_cache.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/distance_cache.cpp.o.d"
+  "/root/repo/src/topo/dragonfly.cpp" "src/topo/CMakeFiles/topomap_topo.dir/dragonfly.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/dragonfly.cpp.o.d"
+  "/root/repo/src/topo/factory.cpp" "src/topo/CMakeFiles/topomap_topo.dir/factory.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/factory.cpp.o.d"
+  "/root/repo/src/topo/fat_tree.cpp" "src/topo/CMakeFiles/topomap_topo.dir/fat_tree.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/graph_topology.cpp" "src/topo/CMakeFiles/topomap_topo.dir/graph_topology.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/graph_topology.cpp.o.d"
+  "/root/repo/src/topo/hypercube.cpp" "src/topo/CMakeFiles/topomap_topo.dir/hypercube.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/topomap_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/torus_mesh.cpp" "src/topo/CMakeFiles/topomap_topo.dir/torus_mesh.cpp.o" "gcc" "src/topo/CMakeFiles/topomap_topo.dir/torus_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/topomap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

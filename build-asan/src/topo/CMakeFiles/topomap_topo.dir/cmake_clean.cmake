@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_topo.dir/distance_cache.cpp.o"
+  "CMakeFiles/topomap_topo.dir/distance_cache.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/dragonfly.cpp.o"
+  "CMakeFiles/topomap_topo.dir/dragonfly.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/factory.cpp.o"
+  "CMakeFiles/topomap_topo.dir/factory.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/fat_tree.cpp.o"
+  "CMakeFiles/topomap_topo.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/graph_topology.cpp.o"
+  "CMakeFiles/topomap_topo.dir/graph_topology.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/hypercube.cpp.o"
+  "CMakeFiles/topomap_topo.dir/hypercube.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/topology.cpp.o"
+  "CMakeFiles/topomap_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/topomap_topo.dir/torus_mesh.cpp.o"
+  "CMakeFiles/topomap_topo.dir/torus_mesh.cpp.o.d"
+  "libtopomap_topo.a"
+  "libtopomap_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

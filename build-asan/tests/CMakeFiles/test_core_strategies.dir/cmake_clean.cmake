@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_strategies.dir/test_core_strategies.cpp.o"
+  "CMakeFiles/test_core_strategies.dir/test_core_strategies.cpp.o.d"
+  "test_core_strategies"
+  "test_core_strategies.pdb"
+  "test_core_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

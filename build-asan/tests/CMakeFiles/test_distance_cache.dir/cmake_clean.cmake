@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_cache.dir/test_distance_cache.cpp.o"
+  "CMakeFiles/test_distance_cache.dir/test_distance_cache.cpp.o.d"
+  "test_distance_cache"
+  "test_distance_cache.pdb"
+  "test_distance_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_factory.dir/test_graph_factory.cpp.o"
+  "CMakeFiles/test_graph_factory.dir/test_graph_factory.cpp.o.d"
+  "test_graph_factory"
+  "test_graph_factory.pdb"
+  "test_graph_factory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

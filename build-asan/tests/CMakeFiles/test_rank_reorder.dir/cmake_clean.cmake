@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_reorder.dir/test_rank_reorder.cpp.o"
+  "CMakeFiles/test_rank_reorder.dir/test_rank_reorder.cpp.o.d"
+  "test_rank_reorder"
+  "test_rank_reorder.pdb"
+  "test_rank_reorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

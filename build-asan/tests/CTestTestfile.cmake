@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_support[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_topo[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_distance_cache[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core_metrics[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core_strategies[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_partition[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_rank_reorder[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_adaptive_routing[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_graph_factory[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_runtime_placement[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_edge_cases[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topomap_cli.dir/topomap_cli.cpp.o"
+  "CMakeFiles/topomap_cli.dir/topomap_cli.cpp.o.d"
+  "topomap"
+  "topomap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topomap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
