@@ -38,4 +38,37 @@ do
   echo "ok: thread-invariant  $spec"
 done
 
+# Fault injection end-to-end: map around failed links/nodes, then evacuate
+# stranded tasks after processor deaths.  Both must produce valid mappings
+# (every task on a distinct alive processor) and finite hop-bytes.
+check_mapping() {  # file, tasks, dead-procs...
+  local file="$1" tasks="$2"
+  shift 2
+  awk -v tasks="$tasks" -v dead="$*" '
+    BEGIN { n = split(dead, d, " ") }
+    NF == 2 {
+      count++
+      for (i = 1; i <= n; i++)
+        if ($2 == d[i]) { print "task " $1 " placed on dead proc " $2; exit 1 }
+      if (seen[$2]++) { print "processor " $2 " used twice"; exit 1 }
+    }
+    END { if (count != tasks) { print "expected " tasks " lines, got " count; exit 1 } }
+  ' "$file"
+}
+
+"$CLI" map --strategy=topolb --tasks=stencil2d:7x8 --topology=torus:8x8 \
+  --fail-node=9,27 --fail-link=0:1 --seed=7 --output="$TMP/fault.map" \
+  | tee "$TMP/fault.log" >/dev/null
+check_mapping "$TMP/fault.map" 56 9 27
+grep -Eq 'hop-bytes: *[0-9]+(\.[0-9]+)?' "$TMP/fault.log"
+echo "ok: faulted map        --fail-node=9,27 --fail-link=0:1"
+
+"$CLI" evacuate --strategy=topolb --tasks=stencil2d:7x8 --topology=torus:8x8 \
+  --fail-node=3,12 --refine-passes=1 --seed=7 --output="$TMP/evac.map" \
+  | tee "$TMP/evac.log" >/dev/null
+check_mapping "$TMP/evac.map" 56 3 12
+grep -Eq 'evacuate: *[0-9]+ stranded, [0-9]+ migrations' "$TMP/evac.log"
+grep -Eq 'hop-bytes [0-9]+' "$TMP/evac.log"
+echo "ok: evacuate           --fail-node=3,12"
+
 echo "smoke test passed"

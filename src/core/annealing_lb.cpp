@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/baseline_lb.hpp"
+#include "core/cache_handle.hpp"
 #include "core/metrics.hpp"
 #include "core/swap_kernel.hpp"
 #include "support/error.hpp"
@@ -65,8 +66,9 @@ Mapping run_chain(const graph::TaskGraph& g, const Dist& dist,
 
 }  // namespace
 
-AnnealingLB::AnnealingLB(AnnealingOptions options, DistanceMode mode)
-    : options_(std::move(options)), mode_(mode) {
+AnnealingLB::AnnealingLB(AnnealingOptions options, DistanceMode mode,
+                         CacheHandlePtr cache)
+    : options_(std::move(options)), mode_(mode), cache_(std::move(cache)) {
   TOPOMAP_REQUIRE(options_.moves_per_task > 0.0, "need positive move budget");
   TOPOMAP_REQUIRE(options_.cooling > 0.0 && options_.cooling < 1.0,
                   "cooling factor must be in (0,1)");
@@ -93,9 +95,9 @@ Mapping AnnealingLB::map(const graph::TaskGraph& g,
     return run_chain(g, detail::VirtualDistance{topo}, std::move(current),
                      energy, rng, options_);
   }
-  const topo::DistanceCache cache(topo);
-  const double energy = hop_bytes(g, cache, current);
-  return run_chain(g, detail::CachedDistance{cache}, std::move(current),
+  const auto cache = obtain_cache(cache_, topo);
+  const double energy = hop_bytes(g, *cache, current);
+  return run_chain(g, detail::CachedDistance{*cache}, std::move(current),
                    energy, rng, options_);
 }
 

@@ -37,7 +37,8 @@ struct AnnealingOptions {
 class AnnealingLB final : public MappingStrategy {
  public:
   explicit AnnealingLB(AnnealingOptions options = {},
-                       DistanceMode mode = DistanceMode::kCached);
+                       DistanceMode mode = DistanceMode::kCached,
+                       CacheHandlePtr cache = nullptr);
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
@@ -46,6 +47,7 @@ class AnnealingLB final : public MappingStrategy {
  private:
   AnnealingOptions options_;
   DistanceMode mode_;
+  CacheHandlePtr cache_;  // shared across a composition; may be null
 };
 
 }  // namespace topomap::core

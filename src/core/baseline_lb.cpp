@@ -4,11 +4,24 @@
 #include <numeric>
 
 #include "support/error.hpp"
+#include "topo/fault_overlay.hpp"
 
 namespace topomap::core {
 
 void MappingStrategy::require_square(const graph::TaskGraph& g,
                                      const topo::Topology& topo) {
+  // A strategy run directly on an overlay with dead processors would hand
+  // out dead placements (size() still counts them) — fail fast and point at
+  // the alive-subset entry point.  Link-only fault sets are fine: every
+  // processor is placeable and distances already route around the faults.
+  if (const auto* overlay = dynamic_cast<const topo::FaultOverlay*>(&topo)) {
+    TOPOMAP_REQUIRE(
+        overlay->num_failed_nodes() == 0,
+        "mapping strategies need every processor alive; " + topo.name() +
+            " has " + std::to_string(overlay->num_failed_nodes()) +
+            " failed processors — use core::map_on_alive to map onto the "
+            "alive subset");
+  }
   TOPOMAP_REQUIRE(g.num_vertices() == topo.size(),
                   "mapping strategies need |V_t| == |V_p|; partition/coalesce "
                   "the task graph first");

@@ -1,0 +1,58 @@
+// Shared DistanceCache across a strategy composition.
+//
+// A composed strategy like "topolb+refine" or warm-started annealing runs
+// two or three kernels over the *same* topology inside one map() call; each
+// used to build its own O(p^2) DistanceCache.  make_strategy now creates a
+// single CacheHandle per top-level composition and threads it through every
+// stage, so the matrix is built once per (topology, name) and reused.
+//
+// The handle keys on the topology's address *and* its name(): address alone
+// is unsafe (a mutated FaultOverlay keeps its address), but FaultOverlay
+// embeds a version counter in name(), so injecting a fault between map()
+// calls invalidates the entry and the next get() rebuilds on the faulted
+// metric.  get() hands out shared_ptrs, so a rebuild never invalidates a
+// cache an in-flight kernel still holds.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "topo/distance_cache.hpp"
+#include "topo/topology.hpp"
+
+namespace topomap::core {
+
+class CacheHandle {
+ public:
+  /// The cache for `topo`, built on first use and whenever the keyed
+  /// (address, name) pair changes.
+  std::shared_ptr<const topo::DistanceCache> get(const topo::Topology& topo) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string name = topo.name();
+    if (cache_ && key_ == &topo && key_name_ == name) return cache_;
+    cache_ = std::make_shared<const topo::DistanceCache>(topo);
+    key_ = &topo;
+    key_name_ = std::move(name);
+    return cache_;
+  }
+
+ private:
+  std::mutex mu_;
+  const topo::Topology* key_ = nullptr;
+  std::string key_name_;
+  std::shared_ptr<const topo::DistanceCache> cache_;
+};
+
+using CacheHandlePtr = std::shared_ptr<CacheHandle>;
+
+/// The cache a kernel should use: the handle's shared one when present,
+/// otherwise a private single-use build (strategies constructed directly,
+/// without make_strategy).
+inline std::shared_ptr<const topo::DistanceCache> obtain_cache(
+    const CacheHandlePtr& handle, const topo::Topology& topo) {
+  if (handle) return handle->get(topo);
+  return std::make_shared<const topo::DistanceCache>(topo);
+}
+
+}  // namespace topomap::core

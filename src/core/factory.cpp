@@ -1,5 +1,6 @@
 #include "core/annealing_lb.hpp"
 #include "core/baseline_lb.hpp"
+#include "core/cache_handle.hpp"
 #include "core/link_refine.hpp"
 #include "core/recursive_map.hpp"
 #include "core/refine_topo_lb.hpp"
@@ -21,32 +22,43 @@ bool consume_suffix(std::string& spec, std::string_view suffix) {
   return false;
 }
 
+// Every stage of a composition receives the same CacheHandle, so stacked
+// strategies ("topolb+refine", warm-started annealing) build the O(p^2)
+// distance matrix once per map() call instead of once per stage.
+StrategyPtr make_with_handle(const std::string& spec_in, DistanceMode mode,
+                             const CacheHandlePtr& cache) {
+  std::string spec = spec_in;
+  if (consume_suffix(spec, "+linkrefine"))
+    return std::make_shared<LinkRefinedStrategy>(
+        make_with_handle(spec, mode, cache));
+  if (consume_suffix(spec, "+refine"))
+    return std::make_shared<RefinedStrategy>(make_with_handle(spec, mode, cache),
+                                             8, mode, cache);
+  if (spec == "random") return std::make_shared<RandomLB>();
+  if (spec == "greedy") return std::make_shared<GreedyLB>();
+  if (spec == "topocent") return std::make_shared<TopoCentLB>(mode, cache);
+  if (spec == "topolb")
+    return std::make_shared<TopoLB>(EstimationOrder::kSecond, mode, cache);
+  if (spec == "topolb1")
+    return std::make_shared<TopoLB>(EstimationOrder::kFirst, mode, cache);
+  if (spec == "topolb3")
+    return std::make_shared<TopoLB>(EstimationOrder::kThird, mode, cache);
+  if (spec == "recursive") return std::make_shared<RecursiveBisectionLB>();
+  if (spec == "anneal")
+    return std::make_shared<AnnealingLB>(AnnealingOptions{}, mode, cache);
+  if (spec == "anneal-warm") {
+    AnnealingOptions options;
+    options.warm_start =
+        std::make_shared<TopoLB>(EstimationOrder::kSecond, mode, cache);
+    return std::make_shared<AnnealingLB>(options, mode, cache);
+  }
+  throw precondition_error("unknown strategy spec: " + spec_in);
+}
+
 }  // namespace
 
 StrategyPtr make_strategy(const std::string& spec_in, DistanceMode mode) {
-  std::string spec = spec_in;
-  if (consume_suffix(spec, "+linkrefine"))
-    return std::make_shared<LinkRefinedStrategy>(make_strategy(spec, mode));
-  if (consume_suffix(spec, "+refine"))
-    return std::make_shared<RefinedStrategy>(make_strategy(spec, mode), 8,
-                                             mode);
-  if (spec == "random") return std::make_shared<RandomLB>();
-  if (spec == "greedy") return std::make_shared<GreedyLB>();
-  if (spec == "topocent") return std::make_shared<TopoCentLB>(mode);
-  if (spec == "topolb")
-    return std::make_shared<TopoLB>(EstimationOrder::kSecond, mode);
-  if (spec == "topolb1")
-    return std::make_shared<TopoLB>(EstimationOrder::kFirst, mode);
-  if (spec == "topolb3")
-    return std::make_shared<TopoLB>(EstimationOrder::kThird, mode);
-  if (spec == "recursive") return std::make_shared<RecursiveBisectionLB>();
-  if (spec == "anneal") return std::make_shared<AnnealingLB>(AnnealingOptions{}, mode);
-  if (spec == "anneal-warm") {
-    AnnealingOptions options;
-    options.warm_start = std::make_shared<TopoLB>(EstimationOrder::kSecond, mode);
-    return std::make_shared<AnnealingLB>(options, mode);
-  }
-  throw precondition_error("unknown strategy spec: " + spec_in);
+  return make_with_handle(spec_in, mode, std::make_shared<CacheHandle>());
 }
 
 }  // namespace topomap::core

@@ -1,0 +1,49 @@
+#include "core/fault_aware.hpp"
+
+#include <string>
+#include <utility>
+
+#include "support/error.hpp"
+#include "topo/sub_topology.hpp"
+
+namespace topomap::core {
+
+Mapping map_on_alive(const MappingStrategy& strategy,
+                     const graph::TaskGraph& g,
+                     const topo::FaultOverlay& overlay, Rng& rng) {
+  const int n = g.num_vertices();
+  const int alive = overlay.num_alive();
+  TOPOMAP_REQUIRE(n >= 1, "map_on_alive: empty task graph");
+  TOPOMAP_REQUIRE(n <= alive,
+                  "map_on_alive: " + std::to_string(n) + " tasks exceed " +
+                      std::to_string(alive) + " alive processors on " +
+                      overlay.name());
+
+  // Non-owning view: the SubTopology lives only inside this call, strictly
+  // shorter than the caller's overlay.  The constructor rejects a
+  // disconnected alive set with precondition_error.
+  topo::TopologyPtr view(topo::TopologyPtr{}, &overlay);
+  const auto sub =
+      std::make_shared<const topo::SubTopology>(view, overlay.alive_procs());
+
+  const graph::TaskGraph* run_g = &g;
+  graph::TaskGraph padded;
+  if (n < alive) {
+    graph::TaskGraph::Builder b(g.label() + "+pad");
+    for (int v = 0; v < n; ++v) b.add_vertex(g.vertex_weight(v));
+    b.add_vertices(alive - n, 0.0);
+    for (const graph::UndirectedEdge& e : g.edges())
+      b.add_edge(e.a, e.b, e.bytes);
+    padded = std::move(b).build();
+    run_g = &padded;
+  }
+
+  const Mapping compact = strategy.map(*run_g, *sub, rng);
+  Mapping out(static_cast<std::size_t>(n), kUnassigned);
+  for (int t = 0; t < n; ++t)
+    out[static_cast<std::size_t>(t)] =
+        sub->node_of(compact[static_cast<std::size_t>(t)]);
+  return out;
+}
+
+}  // namespace topomap::core

@@ -1,0 +1,32 @@
+// Mapping onto the alive subset of a faulted machine.
+//
+// Strategies require a bijection onto processors 0..p-1, so they refuse a
+// FaultOverlay with dead processors (see MappingStrategy::require_square).
+// map_on_alive() closes the gap: it re-indexes the alive processors into a
+// compact topo::SubTopology (distances/routes still the overlay's, i.e.
+// fault-rerouted), pads the task graph with zero-weight isolated tasks up
+// to the alive count so the bijection precondition holds, runs the
+// strategy, and translates the result back to original processor ids.
+// Padding preserves strategy determinism: dummy tasks communicate nothing,
+// so they absorb the left-over processors without perturbing real
+// placements' cost structure.
+#pragma once
+
+#include "core/mapping.hpp"
+#include "core/strategy.hpp"
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+#include "topo/fault_overlay.hpp"
+
+namespace topomap::core {
+
+/// Map g onto the alive processors of `overlay` with `strategy`.  Requires
+/// 1 <= g.num_vertices() <= overlay.num_alive() (precondition_error
+/// otherwise, also when faults disconnect the alive set).  The returned
+/// mapping uses the overlay's original processor ids; every assignment is
+/// an alive processor and no processor is used twice.
+Mapping map_on_alive(const MappingStrategy& strategy,
+                     const graph::TaskGraph& g,
+                     const topo::FaultOverlay& overlay, Rng& rng);
+
+}  // namespace topomap::core

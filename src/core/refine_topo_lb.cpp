@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache_handle.hpp"
 #include "core/distance_provider.hpp"
 #include "core/metrics.hpp"
 #include "core/swap_kernel.hpp"
@@ -108,11 +109,14 @@ double swap_delta(const graph::TaskGraph& g, const topo::Topology& topo,
 
 RefineResult refine_mapping(const graph::TaskGraph& g,
                             const topo::Topology& topo, const Mapping& m,
-                            int max_passes, DistanceMode mode) {
+                            int max_passes, DistanceMode mode,
+                            const topo::DistanceCache* cache) {
   TOPOMAP_REQUIRE(max_passes >= 1, "need at least one sweep");
   TOPOMAP_REQUIRE(is_one_to_one(m, topo), "refiner needs a one-to-one mapping");
   TOPOMAP_REQUIRE(static_cast<int>(m.size()) == g.num_vertices(),
                   "mapping size mismatch");
+  TOPOMAP_REQUIRE(cache == nullptr || cache->size() == topo.size(),
+                  "prebuilt distance cache does not match the topology");
 
   RefineResult result;
   if (mode == DistanceMode::kVirtual) {
@@ -120,10 +124,14 @@ RefineResult refine_mapping(const graph::TaskGraph& g,
                         hop_bytes(g, topo, m), m, max_passes);
     result.hop_bytes_after = hop_bytes(g, topo, result.mapping);
   } else {
-    const topo::DistanceCache cache(topo);
-    result = run_refine(g, detail::CachedDistance{cache},
-                        hop_bytes(g, cache, m), m, max_passes);
-    result.hop_bytes_after = hop_bytes(g, cache, result.mapping);
+    std::shared_ptr<const topo::DistanceCache> owned;
+    if (cache == nullptr) {
+      owned = std::make_shared<const topo::DistanceCache>(topo);
+      cache = owned.get();
+    }
+    result = run_refine(g, detail::CachedDistance{*cache},
+                        hop_bytes(g, *cache, m), m, max_passes);
+    result.hop_bytes_after = hop_bytes(g, *cache, result.mapping);
   }
   TOPOMAP_ASSERT(result.hop_bytes_after <= result.hop_bytes_before + 1e-6,
                  "refinement must never worsen hop-bytes");
@@ -131,8 +139,11 @@ RefineResult refine_mapping(const graph::TaskGraph& g,
 }
 
 RefinedStrategy::RefinedStrategy(StrategyPtr base, int max_passes,
-                                 DistanceMode mode)
-    : base_(std::move(base)), max_passes_(max_passes), mode_(mode) {
+                                 DistanceMode mode, CacheHandlePtr cache)
+    : base_(std::move(base)),
+      max_passes_(max_passes),
+      mode_(mode),
+      cache_(std::move(cache)) {
   TOPOMAP_REQUIRE(base_ != nullptr, "base strategy is null");
   TOPOMAP_REQUIRE(max_passes_ >= 1, "need at least one sweep");
 }
@@ -140,6 +151,11 @@ RefinedStrategy::RefinedStrategy(StrategyPtr base, int max_passes,
 Mapping RefinedStrategy::map(const graph::TaskGraph& g,
                              const topo::Topology& topo, Rng& rng) const {
   const Mapping base = base_->map(g, topo, rng);
+  if (mode_ == DistanceMode::kCached && cache_) {
+    const auto shared = cache_->get(topo);
+    return refine_mapping(g, topo, base, max_passes_, mode_, shared.get())
+        .mapping;
+  }
   return refine_mapping(g, topo, base, max_passes_, mode_).mapping;
 }
 

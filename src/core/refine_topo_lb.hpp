@@ -9,6 +9,10 @@
 
 #include "core/strategy.hpp"
 
+namespace topomap::topo {
+class DistanceCache;
+}
+
 namespace topomap::core {
 
 struct RefineResult {
@@ -25,10 +29,13 @@ struct RefineResult {
 /// implementation note in refine_topo_lb.cpp); results are byte-identical
 /// to the sequential first-improvement sweep for any thread count and for
 /// either distance mode.
+/// `cache` (optional) is a prebuilt distance matrix for `topo`; when given
+/// with kCached mode the sweep reuses it instead of building its own.
 RefineResult refine_mapping(const graph::TaskGraph& g,
                             const topo::Topology& topo, const Mapping& m,
                             int max_passes = 8,
-                            DistanceMode mode = DistanceMode::kCached);
+                            DistanceMode mode = DistanceMode::kCached,
+                            const topo::DistanceCache* cache = nullptr);
 
 /// Change in hop-bytes if tasks a and b exchanged processors under m
 /// (negative = improvement).  Exposed for tests.
@@ -39,7 +46,8 @@ double swap_delta(const graph::TaskGraph& g, const topo::Topology& topo,
 class RefinedStrategy final : public MappingStrategy {
  public:
   RefinedStrategy(StrategyPtr base, int max_passes = 8,
-                  DistanceMode mode = DistanceMode::kCached);
+                  DistanceMode mode = DistanceMode::kCached,
+                  CacheHandlePtr cache = nullptr);
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
@@ -49,6 +57,7 @@ class RefinedStrategy final : public MappingStrategy {
   StrategyPtr base_;
   int max_passes_;
   DistanceMode mode_;
+  CacheHandlePtr cache_;  // shared across a composition; may be null
 };
 
 }  // namespace topomap::core

@@ -26,6 +26,10 @@ namespace topomap::core {
 /// byte-identical mappings (asserted by tests/test_distance_cache.cpp).
 enum class DistanceMode { kCached, kVirtual };
 
+/// Shared DistanceCache slot for a strategy composition (core/cache_handle.hpp).
+class CacheHandle;
+using CacheHandlePtr = std::shared_ptr<CacheHandle>;
+
 class MappingStrategy {
  public:
   virtual ~MappingStrategy() = default;
@@ -57,7 +61,9 @@ using StrategyPtr = std::shared_ptr<const MappingStrategy>;
 ///   "<base>+refine"      any of the above followed by RefineTopoLB
 ///   "<base>+linkrefine"  any of the above followed by link-load refinement
 /// `mode` selects the distance path for every strategy in the composition
-/// (the default cached mode is what production callers want).
+/// (the default cached mode is what production callers want).  Every stage
+/// of a composition shares one CacheHandle, so e.g. "topolb+refine" and
+/// warm-started annealing build the distance matrix once per map() call.
 StrategyPtr make_strategy(const std::string& spec,
                           DistanceMode mode = DistanceMode::kCached);
 

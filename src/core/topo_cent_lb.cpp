@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache_handle.hpp"
 #include "core/distance_provider.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
@@ -128,8 +129,8 @@ Mapping TopoCentLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
   if (g.num_vertices() == 0) return {};
   if (mode_ == DistanceMode::kVirtual)
     return run_topocent(g, detail::VirtualDistance{topo});
-  const topo::DistanceCache cache(topo);
-  return run_topocent(g, detail::CachedDistance{cache});
+  const auto cache = obtain_cache(cache_, topo);
+  return run_topocent(g, detail::CachedDistance{*cache});
 }
 
 }  // namespace topomap::core

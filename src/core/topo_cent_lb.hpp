@@ -11,14 +11,17 @@
 // processors against the selected task's placed neighbours.
 #pragma once
 
+#include <utility>
+
 #include "core/strategy.hpp"
 
 namespace topomap::core {
 
 class TopoCentLB final : public MappingStrategy {
  public:
-  explicit TopoCentLB(DistanceMode mode = DistanceMode::kCached)
-      : mode_(mode) {}
+  explicit TopoCentLB(DistanceMode mode = DistanceMode::kCached,
+                      CacheHandlePtr cache = nullptr)
+      : mode_(mode), cache_(std::move(cache)) {}
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
@@ -27,6 +30,7 @@ class TopoCentLB final : public MappingStrategy {
 
  private:
   DistanceMode mode_;
+  CacheHandlePtr cache_;  // shared across a composition; may be null
 };
 
 }  // namespace topomap::core

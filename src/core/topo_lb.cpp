@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache_handle.hpp"
 #include "core/distance_provider.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
@@ -467,8 +468,8 @@ Mapping TopoLB::map(const graph::TaskGraph& g, const topo::Topology& topo,
   if (g.num_vertices() == 0) return {};
   if (mode_ == DistanceMode::kVirtual)
     return run_topolb(g, detail::VirtualDistance{topo}, order_);
-  const topo::DistanceCache cache(topo);
-  return run_topolb(g, detail::CachedDistance{cache}, order_);
+  const auto cache = obtain_cache(cache_, topo);
+  return run_topolb(g, detail::CachedDistance{*cache}, order_);
 }
 
 std::string TopoLB::name() const {

@@ -33,6 +33,8 @@
 // count.
 #pragma once
 
+#include <utility>
+
 #include "core/strategy.hpp"
 
 namespace topomap::core {
@@ -42,8 +44,9 @@ enum class EstimationOrder { kFirst = 1, kSecond = 2, kThird = 3 };
 class TopoLB final : public MappingStrategy {
  public:
   explicit TopoLB(EstimationOrder order = EstimationOrder::kSecond,
-                  DistanceMode mode = DistanceMode::kCached)
-      : order_(order), mode_(mode) {}
+                  DistanceMode mode = DistanceMode::kCached,
+                  CacheHandlePtr cache = nullptr)
+      : order_(order), mode_(mode), cache_(std::move(cache)) {}
 
   Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
               Rng& rng) const override;
@@ -55,6 +58,7 @@ class TopoLB final : public MappingStrategy {
  private:
   EstimationOrder order_;
   DistanceMode mode_;
+  CacheHandlePtr cache_;  // shared across a composition; may be null
 };
 
 }  // namespace topomap::core

@@ -1,9 +1,13 @@
 #include "runtime/dynamic_lb.hpp"
 
+#include <memory>
+
 #include "core/metrics.hpp"
 #include "core/refine_topo_lb.hpp"
 #include "graph/quotient.hpp"
 #include "support/error.hpp"
+#include "topo/fault_overlay.hpp"
+#include "topo/sub_topology.hpp"
 
 namespace topomap::rts {
 
@@ -44,6 +48,15 @@ std::vector<DynamicEpochStats> run_dynamic_lb(const graph::TaskGraph& initial,
   TOPOMAP_REQUIRE(config.comm_drift >= 0.0 && config.comm_drift < 1.0,
                   "comm_drift must be in [0,1)");
   TOPOMAP_REQUIRE(config.pipeline.mapper != nullptr, "pipeline needs a mapper");
+  for (const FaultEvent& f : config.faults) {
+    TOPOMAP_REQUIRE(f.epoch >= 0 && f.epoch < config.epochs,
+                    "fault epoch out of range");
+    TOPOMAP_REQUIRE(f.proc >= 0 && f.proc < topo.size(),
+                    "fault processor out of range");
+    TOPOMAP_REQUIRE(config.pipeline.partitioner != nullptr,
+                    "faults shrink the machine below the object count: the "
+                    "pipeline needs a partitioner");
+  }
 
   std::vector<DynamicEpochStats> history;
   graph::TaskGraph current = initial;
@@ -53,15 +66,78 @@ std::vector<DynamicEpochStats> run_dynamic_lb(const graph::TaskGraph& initial,
   std::vector<int> groups;
   core::Mapping group_mapping;
 
+  // Fault state.  The overlay decorates the caller's topology (non-owning
+  // view; both live for this call only); alive_view is the compact alive
+  // subset every post-fault mapping runs on, rebuilt after each failure.
+  const auto overlay = std::make_shared<topo::FaultOverlay>(
+      topo::TopologyPtr(topo::TopologyPtr{}, &topo));
+  std::shared_ptr<const topo::SubTopology> alive_view;
+  // Compact group mapping (group -> alive_view processor), the post-fault
+  // counterpart of group_mapping.
+  core::Mapping compact_mapping;
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (epoch > 0)
       current = drift(current, config.load_drift, config.comm_drift, rng);
 
+    bool new_fault = false;
+    for (const FaultEvent& f : config.faults) {
+      if (f.epoch != epoch || overlay->node_failed(f.proc)) continue;
+      overlay->fail_node(f.proc);
+      new_fault = true;
+    }
+    const int alive = overlay->num_alive();
+    TOPOMAP_REQUIRE(alive >= 1, "every processor has failed");
+    if (new_fault) {
+      // Throws precondition_error if the failures disconnected the alive
+      // set — fail fast rather than mapping onto a split machine.
+      alive_view = std::make_shared<const topo::SubTopology>(
+          topo::TopologyPtr(topo::TopologyPtr{}, overlay.get()),
+          overlay->alive_procs());
+    }
+
     DynamicEpochStats stats;
     stats.epoch = epoch;
+    stats.alive_procs = alive;
     std::vector<int> placement;
 
-    if (config.policy == RemapPolicy::kScratch || epoch == 0) {
+    if (overlay->num_failed_nodes() > 0) {
+      // Shrunken machine: group into alive-many parts and map onto the
+      // compact alive subset.  Scratch (and any epoch with a fresh fault)
+      // rebuilds grouping and mapping; later incremental epochs keep both
+      // and refine the compact mapping.
+      if (config.policy == RemapPolicy::kScratch || new_fault) {
+        groups = config.pipeline.partitioner->partition(current, alive, rng)
+                     .assignment;
+        const graph::TaskGraph quotient =
+            graph::quotient_graph(current, groups, alive);
+        compact_mapping = config.pipeline.mapper->map(quotient, *alive_view,
+                                                      rng);
+        if (config.pipeline.refine_passes > 0) {
+          compact_mapping =
+              core::refine_mapping(quotient, *alive_view, compact_mapping,
+                                   config.pipeline.refine_passes)
+                  .mapping;
+        }
+        stats.hops_per_byte =
+            core::hops_per_byte(quotient, *alive_view, compact_mapping);
+      } else {
+        const graph::TaskGraph quotient =
+            graph::quotient_graph(current, groups, alive);
+        compact_mapping = core::refine_mapping(quotient, *alive_view,
+                                               compact_mapping,
+                                               config.refine_passes)
+                              .mapping;
+        stats.hops_per_byte =
+            core::hops_per_byte(quotient, *alive_view, compact_mapping);
+      }
+      stats.load_imbalance = part::load_imbalance(current, groups, alive);
+      placement.resize(static_cast<std::size_t>(current.num_vertices()));
+      for (int obj = 0; obj < current.num_vertices(); ++obj)
+        placement[static_cast<std::size_t>(obj)] =
+            alive_view->node_of(compact_mapping[static_cast<std::size_t>(
+                groups[static_cast<std::size_t>(obj)])]);
+    } else if (config.policy == RemapPolicy::kScratch || epoch == 0) {
       const PipelineResult out =
           run_two_phase(current, topo, config.pipeline, rng);
       placement = out.object_to_proc;

@@ -14,6 +14,11 @@
 //                   previous epoch's group mapping with RefineTopoLB
 //                   sweeps: slightly worse hops-per-byte, far fewer
 //                   migrations.
+//
+// Processor failures can be injected at epoch boundaries (FaultEvent).  A
+// fault shrinks the machine: the driver regroups the objects into
+// alive-many groups and maps them onto the compact alive subset of a
+// topo::FaultOverlay; subsequent incremental epochs refine on that subset.
 #pragma once
 
 #include <vector>
@@ -23,6 +28,13 @@
 namespace topomap::rts {
 
 enum class RemapPolicy { kScratch, kIncremental };
+
+/// Processor `proc` dies at the start of epoch `epoch` (before that epoch's
+/// remap), forcing the balancer onto the shrunken alive machine.
+struct FaultEvent {
+  int epoch = 0;
+  int proc = 0;
+};
 
 struct DynamicLBConfig {
   int epochs = 8;
@@ -34,6 +46,10 @@ struct DynamicLBConfig {
   /// RefineTopoLB sweeps per epoch in incremental mode.
   int refine_passes = 4;
   PipelineConfig pipeline;
+  /// Processor failures injected during the run.  Epochs must lie in
+  /// [0, epochs); a pipeline partitioner is required once any processor
+  /// has died (objects then outnumber the alive processors).
+  std::vector<FaultEvent> faults;
 };
 
 struct DynamicEpochStats {
@@ -43,6 +59,8 @@ struct DynamicEpochStats {
   /// Objects whose processor changed relative to the previous epoch
   /// (0 for the first epoch by definition).
   int migrations = 0;
+  /// Processors alive during this epoch.
+  int alive_procs = 0;
 };
 
 /// Run the drifting-workload simulation; returns one stats row per epoch.

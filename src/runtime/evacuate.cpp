@@ -1,0 +1,187 @@
+#include "runtime/evacuate.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/fault_aware.hpp"
+#include "core/metrics.hpp"
+#include "support/error.hpp"
+
+namespace topomap::rts {
+
+namespace {
+
+/// Hop-bytes incident to `task` if it sat on `proc`, against the current
+/// placement (unplaced neighbours contribute nothing).
+double incident_cost(const graph::TaskGraph& g,
+                     const topo::FaultOverlay& overlay, const core::Mapping& m,
+                     int task, int proc) {
+  double cost = 0.0;
+  for (const graph::Edge& e : g.edges_of(task)) {
+    const int q = m[static_cast<std::size_t>(e.neighbor)];
+    if (q == core::kUnassigned) continue;
+    cost += e.bytes * static_cast<double>(overlay.distance(proc, q));
+  }
+  return cost;
+}
+
+int count_migrations(const core::Mapping& before, const core::Mapping& after) {
+  int moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i)
+    if (before[i] != after[i]) ++moved;
+  return moved;
+}
+
+}  // namespace
+
+EvacuationResult evacuate(const graph::TaskGraph& g,
+                          const topo::FaultOverlay& overlay,
+                          const core::Mapping& previous, int refine_passes) {
+  const int n = g.num_vertices();
+  TOPOMAP_REQUIRE(static_cast<int>(previous.size()) == n,
+                  "evacuate: placement size != task count");
+  TOPOMAP_REQUIRE(refine_passes >= 0, "evacuate: refine_passes must be >= 0");
+  TOPOMAP_REQUIRE(n <= overlay.num_alive(),
+                  "evacuate: " + std::to_string(n) + " tasks exceed " +
+                      std::to_string(overlay.num_alive()) +
+                      " alive processors on " + overlay.name());
+
+  // Validate the previous placement (in-range, injective) and split tasks
+  // into survivors and stranded; collect the free alive processors.
+  std::vector<char> used(static_cast<std::size_t>(overlay.size()), 0);
+  std::vector<int> stranded;
+  EvacuationResult result;
+  result.mapping.assign(static_cast<std::size_t>(n), core::kUnassigned);
+  for (int t = 0; t < n; ++t) {
+    const int p = previous[static_cast<std::size_t>(t)];
+    TOPOMAP_REQUIRE(p >= 0 && p < overlay.size(),
+                    "evacuate: task " + std::to_string(t) +
+                        " placed out of range");
+    TOPOMAP_REQUIRE(!used[static_cast<std::size_t>(p)],
+                    "evacuate: previous placement is not one-to-one");
+    used[static_cast<std::size_t>(p)] = 1;
+    if (overlay.is_alive(p))
+      result.mapping[static_cast<std::size_t>(t)] = p;
+    else
+      stranded.push_back(t);
+  }
+  result.stranded = static_cast<int>(stranded.size());
+
+  std::vector<int> free_procs;
+  for (int p : overlay.alive_procs())
+    if (!used[static_cast<std::size_t>(p)]) free_procs.push_back(p);
+  TOPOMAP_REQUIRE(static_cast<int>(free_procs.size()) >= result.stranded,
+                  "evacuate: " + std::to_string(result.stranded) +
+                      " stranded tasks but only " +
+                      std::to_string(free_procs.size()) +
+                      " free alive processors");
+
+  // Place stranded tasks heaviest-communicator first: each takes the free
+  // processor closest (byte-weighted) to its placed neighbours.
+  std::stable_sort(stranded.begin(), stranded.end(), [&g](int a, int b) {
+    return g.comm_bytes(a) > g.comm_bytes(b);
+  });
+  std::vector<char> free_taken(free_procs.size(), 0);
+  for (int t : stranded) {
+    int best_i = -1;
+    double best_cost = 0.0;
+    for (int i = 0; i < static_cast<int>(free_procs.size()); ++i) {
+      if (free_taken[static_cast<std::size_t>(i)]) continue;
+      const double cost =
+          incident_cost(g, overlay, result.mapping, t,
+                        free_procs[static_cast<std::size_t>(i)]);
+      if (best_i < 0 || cost < best_cost) {
+        best_i = i;
+        best_cost = cost;
+      }
+    }
+    TOPOMAP_ASSERT(best_i >= 0, "no free processor for stranded task");
+    free_taken[static_cast<std::size_t>(best_i)] = 1;
+    result.mapping[static_cast<std::size_t>(t)] =
+        free_procs[static_cast<std::size_t>(best_i)];
+  }
+
+  // Bounded refinement: only evacuated tasks move again.  Each sweep gives
+  // every stranded task its best strict improvement among (a) relocating to
+  // a still-free processor — no extra migration — and (b) swapping with any
+  // other task — one extra migration, counted via refine_swaps.
+  for (int pass = 0; pass < refine_passes; ++pass) {
+    bool improved = false;
+    for (int t : stranded) {
+      const int pt = result.mapping[static_cast<std::size_t>(t)];
+      const double here = incident_cost(g, overlay, result.mapping, t, pt);
+      // (a) best free processor.
+      int best_free = -1;
+      double best_delta = -1e-12;
+      for (int i = 0; i < static_cast<int>(free_procs.size()); ++i) {
+        if (free_taken[static_cast<std::size_t>(i)]) continue;
+        const double delta =
+            incident_cost(g, overlay, result.mapping, t,
+                          free_procs[static_cast<std::size_t>(i)]) -
+            here;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_free = i;
+        }
+      }
+      // (b) best swap partner.  Deltas exclude the t-u edge itself, whose
+      // length is symmetric under the swap.
+      int best_swap = -1;
+      for (int u = 0; u < n; ++u) {
+        if (u == t) continue;
+        const int pu = result.mapping[static_cast<std::size_t>(u)];
+        core::Mapping& m = result.mapping;
+        m[static_cast<std::size_t>(t)] = core::kUnassigned;
+        m[static_cast<std::size_t>(u)] = core::kUnassigned;
+        const double before = incident_cost(g, overlay, m, t, pt) +
+                              incident_cost(g, overlay, m, u, pu);
+        const double after = incident_cost(g, overlay, m, t, pu) +
+                             incident_cost(g, overlay, m, u, pt);
+        m[static_cast<std::size_t>(t)] = pt;
+        m[static_cast<std::size_t>(u)] = pu;
+        const double delta = after - before;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_swap = u;
+          best_free = -1;
+        }
+      }
+      if (best_swap >= 0) {
+        std::swap(result.mapping[static_cast<std::size_t>(t)],
+                  result.mapping[static_cast<std::size_t>(best_swap)]);
+        ++result.refine_swaps;
+        improved = true;
+      } else if (best_free >= 0) {
+        // t's old slot opens up; mark it free and take the new one.
+        for (int i = 0; i < static_cast<int>(free_procs.size()); ++i)
+          if (free_procs[static_cast<std::size_t>(i)] == pt)
+            free_taken[static_cast<std::size_t>(i)] = 0;
+        free_taken[static_cast<std::size_t>(best_free)] = 1;
+        result.mapping[static_cast<std::size_t>(t)] =
+            free_procs[static_cast<std::size_t>(best_free)];
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.migrations = count_migrations(previous, result.mapping);
+  result.hop_bytes = core::hop_bytes(g, overlay, result.mapping);
+  return result;
+}
+
+EvacuateComparison compare_evacuate_vs_remap(
+    const graph::TaskGraph& g, const topo::FaultOverlay& overlay,
+    const core::Mapping& previous, const core::MappingStrategy& strategy,
+    Rng& rng, int refine_passes) {
+  EvacuateComparison cmp;
+  cmp.evac = evacuate(g, overlay, previous, refine_passes);
+  cmp.full_mapping = core::map_on_alive(strategy, g, overlay, rng);
+  cmp.full_migrations = 0;
+  for (std::size_t i = 0; i < previous.size(); ++i)
+    if (previous[i] != cmp.full_mapping[i]) ++cmp.full_migrations;
+  cmp.full_hop_bytes = core::hop_bytes(g, overlay, cmp.full_mapping);
+  return cmp;
+}
+
+}  // namespace topomap::rts

@@ -4,8 +4,13 @@
 
 #include "support/error.hpp"
 #include "support/parallel.hpp"
+#include "topo/fault_overlay.hpp"
 
 namespace topomap::topo {
+
+namespace {
+constexpr std::uint16_t kUnreachable = FaultOverlay::kUnreachable;
+}  // namespace
 
 DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
   TOPOMAP_REQUIRE(n_ >= 1, "distance cache needs >= 1 processor");
@@ -14,6 +19,9 @@ DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
   const auto un = static_cast<std::size_t>(n_);
   dist_.resize(un * un);
   mean_dist_.resize(un);
+  row_sum_.resize(un);
+  row_reach_.resize(un);
+  row_max_.resize(un);
 
   // Rows are independent: fill in parallel, reduce per-chunk diameters in
   // ascending chunk order (max is order-free; kept ordered for form).
@@ -26,13 +34,149 @@ DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
       std::uint16_t* row = dist_.data() + static_cast<std::size_t>(p) * un;
       topo.write_distance_row(p, row);
       mean_dist_[static_cast<std::size_t>(p)] = topo.mean_distance_from(p);
-      for (std::size_t q = 0; q < un; ++q)
-        mx = std::max(mx, static_cast<int>(row[q]));
+      recompute_row_stats(p);
+      mx = std::max(mx, row_max_[static_cast<std::size_t>(p)]);
     }
     chunk_max[static_cast<std::size_t>(chunk)] = mx;
   });
   for (int c = 0; c < chunks; ++c)
     diameter_ = std::max(diameter_, chunk_max[static_cast<std::size_t>(c)]);
+}
+
+void DistanceCache::recompute_row_stats(int p) {
+  const std::uint16_t* r = row(p);
+  long long sum = 0;
+  int reach = 0;
+  int mx = 0;
+  for (int q = 0; q < n_; ++q) {
+    const std::uint16_t d = r[q];
+    if (d == kUnreachable) continue;
+    sum += d;
+    ++reach;
+    mx = std::max(mx, static_cast<int>(d));
+  }
+  row_sum_[static_cast<std::size_t>(p)] = sum;
+  row_reach_[static_cast<std::size_t>(p)] = reach;
+  row_max_[static_cast<std::size_t>(p)] = mx;
+}
+
+void DistanceCache::refresh_means_and_diameter() {
+  // A fresh build on the faulted overlay stores
+  // FaultOverlay::mean_distance_from = row_sum / row_reach (one integer sum,
+  // one division), so recomputing every mean from the exact aggregates makes
+  // the repaired cache bit-identical to that rebuild — including rows whose
+  // matrix entries did not change but whose stored mean predates the first
+  // fault (closed-form base means).
+  for (int p = 0; p < n_; ++p) {
+    const auto up = static_cast<std::size_t>(p);
+    mean_dist_[up] = row_reach_[up] > 0
+                         ? static_cast<double>(row_sum_[up]) /
+                               static_cast<double>(row_reach_[up])
+                         : 0.0;
+  }
+  diameter_ = 0;
+  for (int p = 0; p < n_; ++p)
+    diameter_ = std::max(diameter_, row_max_[static_cast<std::size_t>(p)]);
+}
+
+int DistanceCache::repair_link_failure(const FaultOverlay& overlay, int a,
+                                       int b) {
+  TOPOMAP_REQUIRE(overlay.size() == n_,
+                  "repair_link_failure: overlay size mismatch");
+  TOPOMAP_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+                  "repair_link_failure: bad link endpoints");
+  TOPOMAP_REQUIRE(overlay.link_failed(a, b),
+                  "repair_link_failure: link " + std::to_string(a) + "-" +
+                      std::to_string(b) + " is not failed in the overlay");
+  // Link a-b lies on a shortest path from s iff d(s,a) and d(s,b) are both
+  // finite and differ by exactly 1 (consecutive BFS levels).  Rows failing
+  // that test cannot change; the test reads two cached values per row.
+  std::vector<int> affected;
+  for (int s = 0; s < n_; ++s) {
+    const std::uint16_t* r = row(s);
+    const std::uint16_t da = r[a];
+    const std::uint16_t db = r[b];
+    if (da == kUnreachable || db == kUnreachable) continue;
+    const int diff = da > db ? da - db : db - da;
+    if (diff == 1) affected.push_back(s);
+  }
+  const int m = static_cast<int>(affected.size());
+  const auto un = static_cast<std::size_t>(n_);
+  support::parallel_for(m, 4, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const int s = affected[static_cast<std::size_t>(i)];
+      overlay.write_distance_row(s, dist_.data() +
+                                        static_cast<std::size_t>(s) * un);
+      recompute_row_stats(s);
+    }
+  });
+  refresh_means_and_diameter();
+  return m;
+}
+
+int DistanceCache::repair_node_failure(const FaultOverlay& overlay, int p) {
+  TOPOMAP_REQUIRE(overlay.size() == n_,
+                  "repair_node_failure: overlay size mismatch");
+  TOPOMAP_REQUIRE(p >= 0 && p < n_, "repair_node_failure: bad processor id");
+  TOPOMAP_REQUIRE(overlay.node_failed(p),
+                  "repair_node_failure: processor " + std::to_string(p) +
+                      " is not failed in the overlay");
+  const auto un = static_cast<std::size_t>(n_);
+  const auto up = static_cast<std::size_t>(p);
+
+  // p's surviving DAG-successor candidates: its base neighbors that are
+  // still alive over still-present links.  Empty for distance-model bases
+  // (fat-tree), where removing a leaf never perturbs survivor distances.
+  std::vector<int> succ;
+  if (overlay.base().has_adjacency()) {
+    for (int q : overlay.base().neighbors(p))
+      if (overlay.is_alive(q) && !overlay.link_failed(p, q)) succ.push_back(q);
+  }
+
+  std::vector<int> recompute;  // rows where p was interior to the SP DAG
+  for (int s = 0; s < n_; ++s) {
+    if (s == p) continue;
+    std::uint16_t* r = dist_.data() + static_cast<std::size_t>(s) * un;
+    const std::uint16_t dp = r[up];
+    if (dp == kUnreachable) continue;  // p was never reachable: row unchanged
+    bool interior = false;
+    for (int q : succ) {
+      if (r[q] == static_cast<std::uint16_t>(dp + 1)) {
+        interior = true;
+        break;
+      }
+    }
+    if (interior) {
+      recompute.push_back(s);
+    } else {
+      // p was a leaf of s's shortest-path DAG: no survivor's distance ran
+      // through it, so only s's entry for p goes away.
+      r[up] = kUnreachable;
+      const auto us = static_cast<std::size_t>(s);
+      row_sum_[us] -= dp;
+      row_reach_[us] -= 1;
+      if (static_cast<int>(dp) == row_max_[us]) recompute_row_stats(s);
+    }
+  }
+
+  // p's own row: dead source, everything unreachable.
+  std::fill(dist_.begin() + up * un, dist_.begin() + (up + 1) * un,
+            kUnreachable);
+  row_sum_[up] = 0;
+  row_reach_[up] = 0;
+  row_max_[up] = 0;
+
+  const int m = static_cast<int>(recompute.size());
+  support::parallel_for(m, 4, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const int s = recompute[static_cast<std::size_t>(i)];
+      overlay.write_distance_row(s, dist_.data() +
+                                        static_cast<std::size_t>(s) * un);
+      recompute_row_stats(s);
+    }
+  });
+  refresh_means_and_diameter();
+  return m;
 }
 
 }  // namespace topomap::topo

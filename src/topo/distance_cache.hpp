@@ -19,6 +19,22 @@
 // method's value* (not a matrix-derived re-computation), so kernels running
 // on the cache produce results byte-identical to virtual dispatch — the
 // property tests assert this for every strategy.
+//
+// Fault repair: when the topology is wrapped in a topo::FaultOverlay, the
+// cache can follow fault injections *incrementally* instead of the O(p^2)
+// all-rows rebuild the ROADMAP flagged.  repair_link_failure(a, b) re-runs
+// BFS only for source rows whose shortest-path DAG used link a-b — detected
+// in O(1) per row from the cached values themselves: link a-b lies on some
+// shortest path from s iff |d(s,a) - d(s,b)| == 1 (BFS level property), so
+// no per-row touched-link bitset needs to be maintained.  Similarly
+// repair_node_failure(p) fully recomputes a row only when p was *interior*
+// to its DAG (p has an alive DAG successor); rows where p was a leaf are
+// patched in place (entry -> unreachable, integer row sum/count adjusted).
+// Unreachable and dead entries hold FaultOverlay::kUnreachable (0xFFFF,
+// distances are capped far below by the 20000-node limit).  The repaired
+// cache is byte-identical to a from-scratch rebuild on the faulted overlay
+// — matrix, means, and diameter — which the property tests assert for
+// random fault sequences under 1 and 4 threads.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +43,8 @@
 #include "topo/topology.hpp"
 
 namespace topomap::topo {
+
+class FaultOverlay;
 
 class DistanceCache {
  public:
@@ -37,7 +55,8 @@ class DistanceCache {
   int size() const { return n_; }
 
   /// Row pointer: row(a)[b] == distance(a, b).  The fastest access path —
-  /// hoist it out of inner loops over b.
+  /// hoist it out of inner loops over b.  Rows are contiguous: row(0) is
+  /// the whole n x n matrix.
   const std::uint16_t* row(int a) const {
     return dist_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(n_);
   }
@@ -45,18 +64,40 @@ class DistanceCache {
   /// Bounds-unchecked scalar lookup.
   int distance(int a, int b) const { return row(a)[b]; }
 
-  /// The topology's mean_distance_from(p), captured at build time.
+  /// The topology's mean_distance_from(p), captured at build time and kept
+  /// exact across repairs.
   double mean_distance_from(int p) const {
     return mean_dist_[static_cast<std::size_t>(p)];
   }
 
   int diameter() const { return diameter_; }
 
+  /// Incorporate overlay.fail_link(a, b) — call once, immediately after the
+  /// overlay mutation.  Recomputes only the source rows whose shortest-path
+  /// DAG crossed the failed link; refreshes means and diameter.  The
+  /// overlay's base must be the topology this cache was built on (or the
+  /// overlay itself).  Returns the number of rows recomputed by BFS.
+  int repair_link_failure(const FaultOverlay& overlay, int a, int b);
+
+  /// Incorporate overlay.fail_node(p) — call once, immediately after the
+  /// overlay mutation.  Blanks p's row, patches rows where p was a DAG
+  /// leaf, BFS-recomputes rows where p was interior.  Returns the number of
+  /// rows recomputed by BFS (excluding p's own blanked row).
+  int repair_node_failure(const FaultOverlay& overlay, int p);
+
  private:
+  void recompute_row_stats(int p);
+  void refresh_means_and_diameter();
+
   int n_ = 0;
   int diameter_ = 0;
   std::vector<std::uint16_t> dist_;  // row-major n x n
   std::vector<double> mean_dist_;    // virtual mean_distance_from values
+  // Exact per-row aggregates (finite entries only, self included) letting
+  // repairs reproduce the overlay's integer mean arithmetic bit-for-bit.
+  std::vector<long long> row_sum_;
+  std::vector<int> row_reach_;
+  std::vector<int> row_max_;
 };
 
 }  // namespace topomap::topo

@@ -38,6 +38,11 @@ class FatTree final : public Topology {
   std::vector<int> neighbors(int p) const override;
 
   std::string name() const override;
+
+  /// Distance model only: no processor-level adjacency exists (see
+  /// neighbors()), so link-level consumers must check this before routing.
+  bool has_adjacency() const override { return false; }
+
   double mean_distance_from(int p) const override;
   double mean_pairwise_distance() const override;
   int diameter() const override { return 2 * levels_; }

@@ -1,0 +1,263 @@
+#include "topo/fault_overlay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::topo {
+
+namespace {
+
+std::pair<int, int> norm_link(int a, int b) {
+  return a < b ? std::pair<int, int>{a, b} : std::pair<int, int>{b, a};
+}
+
+}  // namespace
+
+FaultOverlay::FaultOverlay(TopologyPtr base)
+    : base_(std::move(base)) {
+  TOPOMAP_REQUIRE(base_ != nullptr, "FaultOverlay: base topology is null");
+  size_ = base_->size();
+  dead_.assign(static_cast<std::size_t>(size_), 0);
+}
+
+void FaultOverlay::fail_link(int a, int b) {
+  check_node(a);
+  check_node(b);
+  TOPOMAP_REQUIRE(a != b, "fail_link: self-link " + std::to_string(a));
+  TOPOMAP_REQUIRE(base_->has_adjacency(),
+                  "fail_link: " + base_->name() +
+                      " is a distance model without processor-level links; "
+                      "only processor failures are supported on it");
+  const auto nb = base_->neighbors(a);
+  TOPOMAP_REQUIRE(std::find(nb.begin(), nb.end(), b) != nb.end(),
+                  "fail_link: no link " + std::to_string(a) + "-" +
+                      std::to_string(b) + " in " + base_->name());
+  if (failed_links_.insert(norm_link(a, b)).second) ++version_;
+}
+
+void FaultOverlay::fail_node(int p) {
+  check_node(p);
+  if (dead_[static_cast<std::size_t>(p)]) return;
+  dead_[static_cast<std::size_t>(p)] = 1;
+  ++dead_count_;
+  ++version_;
+}
+
+bool FaultOverlay::link_failed(int a, int b) const {
+  return failed_links_.count(norm_link(a, b)) != 0;
+}
+
+bool FaultOverlay::is_alive(int p) const {
+  check_node(p);
+  return dead_[static_cast<std::size_t>(p)] == 0;
+}
+
+std::vector<int> FaultOverlay::alive_procs() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_alive()));
+  for (int p = 0; p < size_; ++p)
+    if (!dead_[static_cast<std::size_t>(p)]) out.push_back(p);
+  return out;
+}
+
+int FaultOverlay::distance(int a, int b) const {
+  TOPOMAP_REQUIRE(is_alive(a), "distance: processor " + std::to_string(a) +
+                                   " has failed");
+  TOPOMAP_REQUIRE(is_alive(b), "distance: processor " + std::to_string(b) +
+                                   " has failed");
+  if (!has_faults() || !base_->has_adjacency()) return base_->distance(a, b);
+  if (a == b) return 0;
+  // Early-exit BFS from a; stateless so concurrent use is safe.
+  std::vector<std::uint16_t> dist(static_cast<std::size_t>(size_),
+                                  kUnreachable);
+  std::vector<int> frontier{a}, next;
+  dist[static_cast<std::size_t>(a)] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (int u : frontier) {
+      for (int v : base_->neighbors(u)) {
+        if (dead_[static_cast<std::size_t>(v)]) continue;
+        if (dist[static_cast<std::size_t>(v)] != kUnreachable) continue;
+        if (link_failed(u, v)) continue;
+        if (v == b) return depth;
+        dist[static_cast<std::size_t>(v)] = static_cast<std::uint16_t>(depth);
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  TOPOMAP_REQUIRE(false, "distance: processors " + std::to_string(a) + " and " +
+                             std::to_string(b) +
+                             " are disconnected by faults in " + name());
+  return -1;  // unreachable
+}
+
+std::vector<int> FaultOverlay::neighbors(int p) const {
+  check_node(p);
+  if (dead_[static_cast<std::size_t>(p)]) return {};
+  std::vector<int> out = base_->neighbors(p);
+  if (!has_faults()) return out;
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](int q) {
+                             return dead_[static_cast<std::size_t>(q)] != 0 ||
+                                    link_failed(p, q);
+                           }),
+            out.end());
+  return out;
+}
+
+std::string FaultOverlay::name() const {
+  std::ostringstream os;
+  os << "faults(nodes=" << dead_count_ << ",links=" << failed_links_.size()
+     << ",v=" << version_ << ") over " << base_->name();
+  return os.str();
+}
+
+double FaultOverlay::mean_distance_from(int p) const {
+  check_node(p);
+  if (dead_[static_cast<std::size_t>(p)]) return 0.0;
+  if (!has_faults()) return base_->mean_distance_from(p);
+  // Integer sum over reachable alive processors (self included), divided
+  // once — exactly the arithmetic DistanceCache repair maintains, so a
+  // repaired cache and a fresh build agree bit-for-bit.
+  std::vector<std::uint16_t> row(static_cast<std::size_t>(size_));
+  write_distance_row(p, row.data());
+  long long sum = 0;
+  int reach = 0;
+  for (int q = 0; q < size_; ++q) {
+    if (row[static_cast<std::size_t>(q)] == kUnreachable) continue;
+    sum += row[static_cast<std::size_t>(q)];
+    ++reach;
+  }
+  return reach > 0 ? static_cast<double>(sum) / static_cast<double>(reach)
+                   : 0.0;
+}
+
+double FaultOverlay::mean_pairwise_distance() const {
+  if (!has_faults()) return base_->mean_pairwise_distance();
+  const int alive = num_alive();
+  if (alive == 0) return 0.0;
+  double total = 0.0;
+  for (int p = 0; p < size_; ++p)
+    if (!dead_[static_cast<std::size_t>(p)]) total += mean_distance_from(p);
+  return total / static_cast<double>(alive);
+}
+
+int FaultOverlay::diameter() const {
+  if (!has_faults()) return base_->diameter();
+  int best = 0;
+  std::vector<std::uint16_t> row(static_cast<std::size_t>(size_));
+  for (int p = 0; p < size_; ++p) {
+    if (dead_[static_cast<std::size_t>(p)]) continue;
+    write_distance_row(p, row.data());
+    for (int q = 0; q < size_; ++q) {
+      const std::uint16_t d = row[static_cast<std::size_t>(q)];
+      if (d != kUnreachable && static_cast<int>(d) > best)
+        best = static_cast<int>(d);
+    }
+  }
+  return best;
+}
+
+bool FaultOverlay::route_intact(const std::vector<int>& path) const {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (dead_[static_cast<std::size_t>(path[i])]) return false;
+    if (i > 0 && link_failed(path[i - 1], path[i])) return false;
+  }
+  return true;
+}
+
+std::vector<int> FaultOverlay::route(int a, int b) const {
+  TOPOMAP_REQUIRE(is_alive(a),
+                  "route: processor " + std::to_string(a) + " has failed");
+  TOPOMAP_REQUIRE(is_alive(b),
+                  "route: processor " + std::to_string(b) + " has failed");
+  if (!has_faults()) return base_->route(a, b);
+  // Keep the base's deterministic (e.g. dimension-ordered) route whenever
+  // the faults do not touch it, so fault-free pairs see unchanged paths.
+  {
+    std::vector<int> path = base_->route(a, b);
+    if (route_intact(path)) return path;
+  }
+  if (a == b) return {a};
+  // BFS with parent tracking over the alive subgraph.
+  std::vector<int> parent(static_cast<std::size_t>(size_), -1);
+  std::vector<int> frontier{a}, next;
+  parent[static_cast<std::size_t>(a)] = a;
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    next.clear();
+    for (int u : frontier) {
+      for (int v : base_->neighbors(u)) {
+        if (dead_[static_cast<std::size_t>(v)]) continue;
+        if (parent[static_cast<std::size_t>(v)] != -1) continue;
+        if (link_failed(u, v)) continue;
+        parent[static_cast<std::size_t>(v)] = u;
+        if (v == b) {
+          found = true;
+          break;
+        }
+        next.push_back(v);
+      }
+      if (found) break;
+    }
+    frontier.swap(next);
+  }
+  TOPOMAP_REQUIRE(found, "route: processors " + std::to_string(a) + " and " +
+                             std::to_string(b) +
+                             " are disconnected by faults in " + name());
+  std::vector<int> path;
+  for (int v = b; v != a; v = parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  path.push_back(a);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void FaultOverlay::write_distance_row(int p, std::uint16_t* out) const {
+  check_node(p);
+  if (dead_[static_cast<std::size_t>(p)]) {
+    std::fill(out, out + size_, kUnreachable);
+    return;
+  }
+  if (!has_faults()) {
+    base_->write_distance_row(p, out);
+    return;
+  }
+  if (!base_->has_adjacency()) {
+    // Distance model (no links to fail): alive-pair distances are the
+    // base's; dead columns become unreachable.
+    base_->write_distance_row(p, out);
+    for (int q = 0; q < size_; ++q)
+      if (dead_[static_cast<std::size_t>(q)]) out[q] = kUnreachable;
+    return;
+  }
+  bfs_row(p, out);
+}
+
+void FaultOverlay::bfs_row(int src, std::uint16_t* out) const {
+  std::fill(out, out + size_, kUnreachable);
+  std::vector<int> frontier{src}, next;
+  out[src] = 0;
+  std::uint16_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (int u : frontier) {
+      for (int v : base_->neighbors(u)) {
+        if (dead_[static_cast<std::size_t>(v)]) continue;
+        if (out[v] != kUnreachable) continue;
+        if (link_failed(u, v)) continue;
+        out[v] = depth;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace topomap::topo

@@ -1,0 +1,111 @@
+// Fault-injection decorator over any Topology: failed links and failed
+// processors.
+//
+// Real machines run for weeks while links and nodes drop out; the overlay
+// models the degraded machine without rebuilding the base topology.
+// Processor ids are stable — size() stays the base size and dead processors
+// keep their numbers — so mappings, caches, and traces taken before a fault
+// remain addressable after it.  Semantics:
+//
+//  * neighbors()/route()/distance() see only the *alive* subgraph: links in
+//    the failed set and links touching dead processors do not exist.
+//    Distances and routes are recomputed by BFS on that subgraph, so traffic
+//    reroutes around faults (a failed link carries nothing, ever).
+//  * Asking for the distance/route of a pair the faults disconnected — or
+//    of a dead endpoint — throws precondition_error.  Never UB, never a
+//    hang, never a silent wrong answer.
+//  * write_distance_row() writes kUnreachable (0xFFFF) for unreachable or
+//    dead entries, which is how topo::DistanceCache represents and
+//    incrementally repairs faulted metrics (DistanceCache::repair_*).
+//  * Distance-model topologies without processor-level links (FatTree,
+//    has_adjacency() == false) support processor failures only: removing a
+//    leaf never changes switch-level distances between the survivors, so
+//    alive-pair distances are the base's; fail_link() on them throws.
+//
+// The overlay is cheap to mutate (a set insert) and stateless about
+// distances: every query recomputes from the base adjacency, so concurrent
+// const use from the parallel mapping kernels is safe and results are
+// byte-identical for any thread count.  version() increments on every
+// mutation and is embedded in name(), letting caches key on it.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace topomap::topo {
+
+class FaultOverlay final : public Topology {
+ public:
+  /// Distance value marking "no alive path" in write_distance_row() output.
+  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+
+  explicit FaultOverlay(TopologyPtr base);
+
+  // --- fault injection (idempotent) ---
+
+  /// Remove the undirected link a-b.  Requires a base-topology link between
+  /// a and b (and a routed base: has_adjacency()).
+  void fail_link(int a, int b);
+
+  /// Remove processor p and every link touching it.
+  void fail_node(int p);
+
+  // --- fault inspection ---
+
+  bool link_failed(int a, int b) const;
+  bool node_failed(int p) const { return dead_[static_cast<std::size_t>(p)] != 0; }
+  bool is_alive(int p) const;
+  int num_alive() const { return size_ - dead_count_; }
+  int num_failed_nodes() const { return dead_count_; }
+  int num_failed_links() const { return static_cast<int>(failed_links_.size()); }
+  bool has_faults() const { return dead_count_ > 0 || !failed_links_.empty(); }
+  /// Alive processor ids, ascending.
+  std::vector<int> alive_procs() const;
+  /// Monotonic mutation counter (0 for a pristine overlay).
+  int version() const { return version_; }
+
+  const Topology& base() const { return *base_; }
+
+  // --- Topology interface ---
+
+  int size() const override { return size_; }
+  /// Hop distance on the alive subgraph.  Throws precondition_error when an
+  /// endpoint is dead or the pair is disconnected by faults.
+  int distance(int a, int b) const override;
+  /// Alive adjacency: failed links and dead endpoints are absent; a dead
+  /// processor has no neighbors.
+  std::vector<int> neighbors(int p) const override;
+  std::string name() const override;
+  bool has_adjacency() const override { return base_->has_adjacency(); }
+  /// Mean distance from p to the alive processors it can still reach (self
+  /// included).  Integer-sum based when any fault is active, so incremental
+  /// DistanceCache repair reproduces it bit-exactly; 0.0 for a dead p.
+  double mean_distance_from(int p) const override;
+  /// Mean of mean_distance_from over the alive processors.
+  double mean_pairwise_distance() const override;
+  /// Largest finite alive-pair distance.
+  int diameter() const override;
+  /// Shortest alive route.  Keeps the base's deterministic route whenever
+  /// the faults do not touch it; otherwise reroutes by BFS.  Throws
+  /// precondition_error on dead endpoints or disconnection.
+  std::vector<int> route(int a, int b) const override;
+  void write_distance_row(int p, std::uint16_t* out) const override;
+
+ private:
+  /// BFS distances from src over the alive subgraph; kUnreachable elsewhere.
+  void bfs_row(int src, std::uint16_t* out) const;
+  bool route_intact(const std::vector<int>& path) const;
+
+  TopologyPtr base_;
+  int size_ = 0;
+  std::vector<char> dead_;
+  int dead_count_ = 0;
+  std::set<std::pair<int, int>> failed_links_;  // normalized a < b
+  int version_ = 0;
+};
+
+}  // namespace topomap::topo

@@ -30,6 +30,13 @@ class Topology {
   /// Human-readable shape, e.g. "torus(8,8,8)".
   virtual std::string name() const = 0;
 
+  /// True when neighbors()/route() describe a real processor-level link
+  /// graph consistent with distance().  Distance-model topologies (FatTree,
+  /// whose links attach leaves to switches) return false: their neighbors()
+  /// and route() throw, and link-level operations — link loads, the network
+  /// simulator, FaultOverlay link failures — are unsupported on them.
+  virtual bool has_adjacency() const { return true; }
+
   /// Mean hop distance from p to every processor, self included:
   /// (1/|V_p|) * sum_q d(p, q).  This is the second-order expected-distance
   /// term of TopoLB.  Concrete topologies override with closed forms; the

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "core/baseline_lb.hpp"
+#include "core/fault_aware.hpp"
 #include "core/metrics.hpp"
 #include "core/refine_topo_lb.hpp"
 #include "core/topo_cent_lb.hpp"
@@ -13,6 +14,7 @@
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "topo/factory.hpp"
+#include "topo/fault_overlay.hpp"
 #include "topo/torus_mesh.hpp"
 
 namespace topomap::core {
@@ -273,6 +275,46 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("topocent", "topolb", "topolb1",
                                          "topolb3", "topolb+refine"),
                        ::testing::Values(6, 8, 10)));
+
+// Every strategy degrades gracefully under processor faults: mapping
+// directly onto a machine with dead processors is rejected up front
+// (precondition_error, not a crash or a dead placement), and map_on_alive
+// yields a valid alive-only injective mapping for the same strategy.
+class FaultToleranceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultToleranceTest, RejectsDeadProcessorsAndMapsOnAliveSubset) {
+  const StrategyPtr s = make_strategy(GetParam());
+  auto overlay = std::make_shared<topo::FaultOverlay>(make_topology("torus:4x4"));
+  overlay->fail_node(6);
+  overlay->fail_node(12);  // 14 alive
+
+  // Direct mapping onto a machine with dead processors must fail fast.
+  const auto square = stencil_2d(4, 4, 1.0);  // 16 tasks
+  Rng rng(1);
+  EXPECT_THROW(s->map(square, *overlay, rng), precondition_error);
+
+  // Too many tasks for the alive subset must fail fast too.
+  EXPECT_THROW(map_on_alive(*s, square, *overlay, rng), precondition_error);
+
+  // The alive subset works and never places on a dead processor.
+  const auto g = stencil_2d(3, 4, 1.0);  // 12 tasks <= 14 alive
+  const Mapping m = map_on_alive(*s, g, *overlay, rng);
+  ASSERT_EQ(m.size(), 12u);
+  std::vector<char> used(16, 0);
+  for (int proc : m) {
+    ASSERT_GE(proc, 0);
+    ASSERT_LT(proc, 16);
+    EXPECT_TRUE(overlay->is_alive(proc)) << GetParam();
+    EXPECT_FALSE(used[static_cast<std::size_t>(proc)]) << GetParam();
+    used[static_cast<std::size_t>(proc)] = 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, FaultToleranceTest,
+    ::testing::Values("random", "greedy", "topocent", "topolb", "topolb1",
+                      "topolb3", "recursive", "anneal", "anneal-warm",
+                      "topolb+refine", "topolb+linkrefine"));
 
 }  // namespace
 }  // namespace topomap::core

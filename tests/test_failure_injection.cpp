@@ -1,13 +1,24 @@
-// Failure injection: degraded links in the network simulator, and the new
-// adversarial communication patterns (transpose, butterfly).
+// Failure injection: degraded links in the network simulator, the new
+// adversarial communication patterns (transpose, butterfly), hard faults
+// through topo::FaultOverlay end-to-end (netsim rerouting, evacuation,
+// dynamic LB with mid-run processor deaths).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
+#include "core/fault_aware.hpp"
 #include "core/metrics.hpp"
 #include "graph/builders.hpp"
 #include "netsim/app.hpp"
 #include "netsim/network.hpp"
+#include "partition/partition.hpp"
+#include "runtime/dynamic_lb.hpp"
+#include "runtime/evacuate.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "topo/factory.hpp"
+#include "topo/fault_overlay.hpp"
 #include "topo/hypercube.hpp"
 #include "topo/torus_mesh.hpp"
 
@@ -159,3 +170,177 @@ TEST(Patterns, RejectsBadArguments) {
 
 }  // namespace
 }  // namespace topomap::graph
+
+namespace topomap::netsim {
+namespace {
+
+using topo::FaultOverlay;
+using topo::TorusMesh;
+
+TEST(FaultedNetwork, FailedLinkVanishesAndTrafficReroutes) {
+  // Building a Network from an overlay drops the failed link, so the
+  // simulator's dimension-ordered routes follow the overlay's reroutes.
+  const auto base = topo::make_topology("torus:4");
+  auto overlay = std::make_shared<FaultOverlay>(base);
+  overlay->fail_link(1, 2);
+
+  Recorder rec;
+  Network net(*overlay, params(), ServiceModel::kWormhole, &rec);
+  net.inject(0.0, 1, 2, 100.0, /*tag=*/1);
+  net.run_until_idle();
+  ASSERT_EQ(rec.deliveries.size(), 1u);
+  // Direct link is gone: the message takes 1 -> 0 -> 3 -> 2 (3 hops):
+  // 2 (inject) + 3 (hops) + 1 (serialisation) = 6.0 instead of 4.0.
+  EXPECT_NEAR(rec.deliveries[0].first, 6.0, 1e-9);
+}
+
+TEST(FaultedNetwork, AppCompletesOnFaultedMachine) {
+  const auto base = topo::make_topology("torus:4x4");
+  auto overlay = std::make_shared<FaultOverlay>(base);
+  overlay->fail_link(0, 1);
+  overlay->fail_link(5, 9);
+
+  const auto g = graph::stencil_2d(4, 4, 2000.0);
+  AppParams app;
+  app.iterations = 5;
+  Rng rng(3);
+  const core::Mapping m = core::identity_mapping(16);
+  const auto clean = run_iterative_app(g, *base, m, app, params());
+  const auto faulted = run_iterative_app(g, *overlay, m, app, params());
+  EXPECT_GT(faulted.completion_us, 0.0);
+  EXPECT_TRUE(std::isfinite(faulted.completion_us));
+  // Losing two links can only lengthen routes and add contention.
+  EXPECT_GE(faulted.completion_us, clean.completion_us - 1e-9);
+}
+
+}  // namespace
+}  // namespace topomap::netsim
+
+namespace topomap::rts {
+namespace {
+
+using topo::FaultOverlay;
+
+TEST(Evacuate, ZeroRefineMovesExactlyTheStrandedTasks) {
+  const auto g = graph::stencil_2d(3, 4, 1.0);  // 12 tasks
+  auto overlay =
+      std::make_shared<FaultOverlay>(topo::make_topology("torus:4x4"));
+  // Place tasks 0..11 on processors 0..11, then kill 3 occupied processors.
+  const core::Mapping previous = core::identity_mapping(12);
+  overlay->fail_node(2);
+  overlay->fail_node(7);
+  overlay->fail_node(11);
+
+  const EvacuationResult r = evacuate(g, *overlay, previous, /*refine=*/0);
+  EXPECT_EQ(r.stranded, 3);
+  EXPECT_EQ(r.migrations, 3);  // exactly the stranded tasks, nothing else
+  EXPECT_EQ(r.refine_swaps, 0);
+  EXPECT_GT(r.hop_bytes, 0.0);
+  ASSERT_EQ(r.mapping.size(), 12u);
+  std::vector<char> used(16, 0);
+  for (std::size_t task = 0; task < 12; ++task) {
+    const int proc = r.mapping[task];
+    ASSERT_GE(proc, 0);
+    ASSERT_LT(proc, 16);
+    EXPECT_TRUE(overlay->is_alive(proc));
+    EXPECT_FALSE(used[static_cast<std::size_t>(proc)]);
+    used[static_cast<std::size_t>(proc)] = 1;
+    if (overlay->is_alive(previous[task]))
+      EXPECT_EQ(proc, previous[task]) << "survivor " << task << " moved";
+  }
+  // Deterministic.
+  EXPECT_EQ(evacuate(g, *overlay, previous, 0).mapping, r.mapping);
+}
+
+TEST(Evacuate, RefinementNeverWorsensHopBytes) {
+  const auto g = graph::stencil_2d(3, 4, 1.0);
+  auto overlay =
+      std::make_shared<FaultOverlay>(topo::make_topology("torus:4x4"));
+  const core::Mapping previous = core::identity_mapping(12);
+  overlay->fail_node(5);
+  overlay->fail_node(6);
+  const EvacuationResult r0 = evacuate(g, *overlay, previous, 0);
+  const EvacuationResult r2 = evacuate(g, *overlay, previous, 2);
+  EXPECT_LE(r2.hop_bytes, r0.hop_bytes + 1e-9);
+  EXPECT_GE(r2.migrations, r2.stranded);
+  EXPECT_LE(r2.migrations, r2.stranded + 2 * r2.refine_swaps + 12);
+}
+
+TEST(Evacuate, FailsFastWhenStrandedCannotFit) {
+  const auto g = graph::stencil_2d(4, 4, 1.0);  // 16 tasks on 16 procs
+  auto overlay =
+      std::make_shared<FaultOverlay>(topo::make_topology("torus:4x4"));
+  const core::Mapping previous = core::identity_mapping(16);
+  overlay->fail_node(9);  // zero free alive processors remain
+  EXPECT_THROW(evacuate(g, *overlay, previous, 0), precondition_error);
+}
+
+TEST(Evacuate, ComparisonMigratesFarLessThanFullRemap) {
+  const auto g = graph::stencil_2d(7, 8, 1.0);  // 56 tasks
+  auto overlay =
+      std::make_shared<FaultOverlay>(topo::make_topology("torus:8x8"));
+  Rng rng(1);
+  const auto strategy = core::make_strategy("topolb");
+  const core::Mapping previous =
+      core::map_on_alive(*strategy, g, *overlay, rng);
+  overlay->fail_node(previous[10]);
+  overlay->fail_node(previous[30]);
+
+  const EvacuateComparison cmp =
+      compare_evacuate_vs_remap(g, *overlay, previous, *strategy, rng);
+  EXPECT_EQ(cmp.evac.stranded, 2);
+  EXPECT_LT(cmp.evac.migrations, cmp.full_migrations / 4);
+  EXPECT_GT(cmp.full_hop_bytes, 0.0);
+  // Acceptance: patching stays within 10% of the full remap's hop-bytes.
+  EXPECT_LE(cmp.evac.hop_bytes, 1.10 * cmp.full_hop_bytes);
+}
+
+TEST(DynamicLBFaults, ShrinksMachineAndKeepsPlacementsAlive) {
+  const auto g = graph::stencil_2d(6, 6, 1.0);  // 36 objects
+  const auto topo = topo::make_topology("torus:6x6");
+  for (const RemapPolicy policy :
+       {RemapPolicy::kScratch, RemapPolicy::kIncremental}) {
+    DynamicLBConfig config;
+    config.epochs = 6;
+    config.policy = policy;
+    config.pipeline.partitioner = part::make_partitioner("multilevel");
+    config.pipeline.mapper = core::make_strategy("topolb");
+    config.faults = {{2, 7}, {2, 8}, {4, 20}};
+    Rng rng(11);
+    const auto history = run_dynamic_lb(g, *topo, config, rng);
+    ASSERT_EQ(history.size(), 6u);
+    EXPECT_EQ(history[0].alive_procs, 36);
+    EXPECT_EQ(history[1].alive_procs, 36);
+    EXPECT_EQ(history[2].alive_procs, 34);
+    EXPECT_EQ(history[3].alive_procs, 34);
+    EXPECT_EQ(history[4].alive_procs, 33);
+    EXPECT_EQ(history[5].alive_procs, 33);
+    for (const DynamicEpochStats& s : history) {
+      EXPECT_GT(s.hops_per_byte, 0.0);
+      EXPECT_TRUE(std::isfinite(s.hops_per_byte));
+      EXPECT_GE(s.load_imbalance, 1.0 - 1e-9);
+    }
+    // The fault epoch forces migrations off the dead processors.
+    EXPECT_GT(history[2].migrations, 0);
+  }
+}
+
+TEST(DynamicLBFaults, ValidatesFaultEvents) {
+  const auto g = graph::stencil_2d(4, 4, 1.0);
+  const auto topo = topo::make_topology("torus:4x4");
+  DynamicLBConfig config;
+  config.epochs = 3;
+  config.pipeline.mapper = core::make_strategy("topolb");
+  config.faults = {{1, 5}};
+  Rng rng(1);
+  // Faults require a partitioner (objects outnumber alive processors).
+  EXPECT_THROW(run_dynamic_lb(g, *topo, config, rng), precondition_error);
+  config.pipeline.partitioner = part::make_partitioner("multilevel");
+  config.faults = {{7, 5}};  // epoch out of range
+  EXPECT_THROW(run_dynamic_lb(g, *topo, config, rng), precondition_error);
+  config.faults = {{1, 99}};  // processor out of range
+  EXPECT_THROW(run_dynamic_lb(g, *topo, config, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace topomap::rts

@@ -4,6 +4,12 @@
 //   topomap simulate  ... same, plus network knobs; runs the DES
 //   topomap partition --tasks=<spec> --parts=K [--partitioner=multilevel]
 //   topomap pipeline  --tasks=<spec> --topology=<spec>  (objects > procs)
+//   topomap evacuate  map, inject faults, repair the placement
+//
+// map/simulate/evacuate accept fault injection: --fail-link=a:b[,c:d...],
+// --fail-node=p[,q...], and/or --random-{link,node}-faults=K drawn with
+// --fault-seed.  Mapping then targets the alive processors (tasks must fit)
+// and the simulator routes around the failed links.
 //
 // Workload specs: graph::make_task_graph (stencil2d:16x16, md:8x6x5,
 // er:100:0.05, file:path, ...).  Machine specs: topo::make_topology
@@ -15,11 +21,13 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/fault_aware.hpp"
 #include "core/metrics.hpp"
 #include "graph/factory.hpp"
 #include "graph/quotient.hpp"
 #include "netsim/app.hpp"
 #include "partition/partition.hpp"
+#include "runtime/evacuate.hpp"
 #include "runtime/lb_manager.hpp"
 #include "runtime/rank_reorder.hpp"
 #include "support/cli.hpp"
@@ -29,6 +37,90 @@
 namespace {
 
 using namespace topomap;
+
+void add_fault_options(CliParser& cli) {
+  cli.add_option("fail-link", "failed links a:b[,c:d...]", "");
+  cli.add_option("fail-node", "failed processors p[,q...]", "");
+  cli.add_option("random-link-faults", "additional random link failures", "0");
+  cli.add_option("random-node-faults", "additional random node failures", "0");
+  cli.add_option("fault-seed", "RNG seed for random fault selection", "42");
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Build the fault overlay described by the fault options, or null when no
+/// fault was requested.  Random faults are drawn from a dedicated rng so
+/// the mapping seed's stream is unaffected.
+std::shared_ptr<topo::FaultOverlay> make_fault_overlay(
+    const CliParser& cli, const topo::TopologyPtr& base) {
+  const std::string links = cli.str("fail-link");
+  const std::string nodes = cli.str("fail-node");
+  const int rand_links = static_cast<int>(cli.integer("random-link-faults"));
+  const int rand_nodes = static_cast<int>(cli.integer("random-node-faults"));
+  if (links.empty() && nodes.empty() && rand_links == 0 && rand_nodes == 0)
+    return nullptr;
+
+  auto overlay = std::make_shared<topo::FaultOverlay>(base);
+  if (!links.empty()) {
+    for (const std::string& pair : split(links, ',')) {
+      const auto ends = split(pair, ':');
+      if (ends.size() != 2)
+        throw precondition_error("--fail-link entries must look like a:b, got " +
+                                 pair);
+      overlay->fail_link(std::stoi(ends[0]), std::stoi(ends[1]));
+    }
+  }
+  if (!nodes.empty())
+    for (const std::string& node : split(nodes, ','))
+      overlay->fail_node(std::stoi(node));
+
+  Rng fault_rng(static_cast<std::uint64_t>(cli.integer("fault-seed")));
+  const int p = base->size();
+  for (int k = 0; k < rand_nodes; ++k) {
+    // Draw until an alive processor comes up (kills are idempotent, so a
+    // bounded retry keeps the fault count exact).
+    for (int tries = 0; tries < 64 * p; ++tries) {
+      const int cand =
+          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
+      if (!overlay->is_alive(cand)) continue;
+      overlay->fail_node(cand);
+      break;
+    }
+  }
+  for (int k = 0; k < rand_links; ++k) {
+    for (int tries = 0; tries < 64 * p; ++tries) {
+      const int a =
+          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
+      if (!overlay->is_alive(a)) continue;
+      const auto nb = overlay->neighbors(a);
+      if (nb.empty()) continue;
+      const int b = nb[static_cast<std::size_t>(
+          fault_rng.uniform(static_cast<std::uint64_t>(nb.size())))];
+      overlay->fail_link(a, b);
+      break;
+    }
+  }
+  return overlay;
+}
+
+void print_fault_summary(const topo::FaultOverlay& overlay) {
+  std::cout << "faults:         " << overlay.num_failed_nodes() << " nodes, "
+            << overlay.num_failed_links() << " links (" << overlay.num_alive()
+            << "/" << overlay.size() << " processors alive)\n";
+}
 
 void print_mapping_report(const graph::TaskGraph& g,
                           const topo::Topology& topo, const core::Mapping& m,
@@ -56,6 +148,7 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   cli.add_option("strategy", "mapping strategy", "topolb");
   cli.add_option("seed", "RNG seed", "1");
   cli.add_option("output", "write 'task processor' lines here", "");
+  add_fault_options(cli);
   if (simulate) {
     cli.add_option("iterations", "app iterations", "200");
     cli.add_option("compute-us", "compute per task-iteration (us)", "10");
@@ -68,19 +161,30 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
   const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
   const auto topo = topo::make_topology(cli.str("topology"));
-  if (g.num_vertices() != topo->size()) {
-    std::cerr << "error: workload has " << g.num_vertices()
-              << " tasks but the machine has " << topo->size()
-              << " processors; use `topomap pipeline` when tasks > procs\n";
-    return 1;
-  }
+  const auto overlay = make_fault_overlay(cli, topo);
+  // All metrics/simulation run against the (possibly faulted) machine view.
+  const topo::Topology& machine = overlay ? *overlay : *topo;
   const auto strategy = core::make_strategy(cli.str("strategy"));
-  const core::Mapping m = strategy->map(g, *topo, rng);
+
+  core::Mapping m;
+  if (overlay) {
+    // map_on_alive enforces tasks <= alive and keeps dead processors empty.
+    m = core::map_on_alive(*strategy, g, *overlay, rng);
+  } else {
+    if (g.num_vertices() != topo->size()) {
+      std::cerr << "error: workload has " << g.num_vertices()
+                << " tasks but the machine has " << topo->size()
+                << " processors; use `topomap pipeline` when tasks > procs\n";
+      return 1;
+    }
+    m = strategy->map(g, *topo, rng);
+  }
 
   std::cout << "workload:       " << g.label() << " (" << g.num_edges()
             << " edges, " << g.total_comm_bytes() << " B/iter)\n"
             << "machine:        " << topo->name() << "\n";
-  print_mapping_report(g, *topo, m, strategy->name());
+  if (overlay) print_fault_summary(*overlay);
+  print_mapping_report(g, machine, m, strategy->name());
 
   if (simulate) {
     netsim::AppParams app;
@@ -99,7 +203,7 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
     const netsim::ServiceModel model =
         model_str == "storeforward" ? netsim::ServiceModel::kStoreForward
                                     : netsim::ServiceModel::kWormhole;
-    const auto r = netsim::run_iterative_app(g, *topo, m, app, net, model);
+    const auto r = netsim::run_iterative_app(g, machine, m, app, net, model);
     std::cout << "simulation:     " << app.iterations << " iterations at "
               << net.bandwidth << " MB/s (" << routing << ", " << model_str
               << ")\n"
@@ -186,6 +290,65 @@ int cmd_pipeline(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_evacuate(int argc, const char* const* argv) {
+  CliParser cli(
+      "map on the healthy machine, inject faults, evacuate stranded tasks");
+  cli.add_option("tasks", "workload spec (tasks <= processors)",
+                 "stencil2d:7x8");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("strategy", "initial/remap strategy", "topolb");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("refine-passes", "bounded refine sweeps after evacuation",
+                 "1");
+  cli.add_option("output", "write repaired 'task processor' lines here", "");
+  add_fault_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const auto topo = topo::make_topology(cli.str("topology"));
+  auto overlay = make_fault_overlay(cli, topo);
+  if (!overlay) {
+    std::cerr << "error: evacuate needs at least one fault "
+                 "(--fail-link/--fail-node/--random-*-faults)\n";
+    return 1;
+  }
+
+  // Map on the healthy machine first: the faults strike a running job.
+  topo::FaultOverlay healthy(topo);
+  const auto strategy = core::make_strategy(cli.str("strategy"));
+  const core::Mapping before = core::map_on_alive(*strategy, g, healthy, rng);
+  const double hb_before = core::hop_bytes(g, *topo, before);
+
+  const auto cmp = rts::compare_evacuate_vs_remap(
+      g, *overlay, before, *strategy, rng,
+      static_cast<int>(cli.integer("refine-passes")));
+
+  std::cout << "workload:       " << g.label() << " (" << g.num_vertices()
+            << " tasks)\n"
+            << "machine:        " << topo->name() << "\n";
+  print_fault_summary(*overlay);
+  std::cout << "before faults:  hop-bytes " << hb_before << " ("
+            << strategy->name() << ")\n"
+            << "evacuate:       " << cmp.evac.stranded << " stranded, "
+            << cmp.evac.migrations << " migrations ("
+            << cmp.evac.refine_swaps << " refine swaps), hop-bytes "
+            << cmp.evac.hop_bytes << "\n"
+            << "full remap:     " << cmp.full_migrations
+            << " migrations, hop-bytes " << cmp.full_hop_bytes << "\n"
+            << "evac/remap:     hop-bytes ratio "
+            << (cmp.full_hop_bytes > 0.0
+                    ? cmp.evac.hop_bytes / cmp.full_hop_bytes
+                    : 1.0)
+            << "\n";
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os(out);
+    rts::write_rank_mapping(os, cmp.evac.mapping);
+    std::cout << "repaired mapping written to " << out << "\n";
+  }
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "topomap — topology-aware task mapping (IPDPS'06 reproduction)\n"
@@ -194,7 +357,8 @@ void usage() {
       "  map        map a workload onto a machine, report hop-bytes\n"
       "  simulate   map + discrete-event execution on the machine\n"
       "  partition  split a workload into balanced groups\n"
-      "  pipeline   partition + map (more objects than processors)\n";
+      "  pipeline   partition + map (more objects than processors)\n"
+      "  evacuate   map, inject faults, migrate only stranded tasks\n";
 }
 
 }  // namespace
@@ -213,6 +377,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_map(sub_argc, sub_argv, true);
     if (command == "partition") return cmd_partition(sub_argc, sub_argv);
     if (command == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
+    if (command == "evacuate") return cmd_evacuate(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       usage();
       return 0;
