@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI driver: the full suite in release, then the labeled slices under
+# ASan/UBSan (TOPOMAP_SANITIZE=ON).
+#
+# The sanitizer pass runs label by label — unit, property, fault — so a
+# failure names the tier that broke, and the (slower) instrumented binaries
+# only run the suites worth instrumenting instead of every sweep twice.
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== release: configure + build + full suite ==="
+cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci-release -j "$JOBS"
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "=== sanitize (ASan/UBSan): labeled slices ==="
+cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
+cmake --build build-ci-sanitize -j "$JOBS"
+for label in unit property fault; do
+  echo "--- ctest -L $label ---"
+  ctest --test-dir build-ci-sanitize --output-on-failure -j "$JOBS" -L "$label"
+done
+
+echo "ci passed"

@@ -71,4 +71,22 @@ grep -Eq 'evacuate: *[0-9]+ stranded, [0-9]+ migrations' "$TMP/evac.log"
 grep -Eq 'hop-bytes [0-9]+' "$TMP/evac.log"
 echo "ok: evacuate           --fail-node=3,12"
 
+# Soft faults end-to-end: degraded links engage the health-weighted
+# distance plane (mapping) and slow the simulated links (netsim), while a
+# health of 1.0 must change nothing at all.
+"$CLI" simulate --strategy=topolb --tasks=stencil2d:8x8 --topology=torus:8x8 \
+  --degrade-link=0:1:0.5,8:16:0.25 --random-degrades=2 --seed=7 \
+  --iterations=10 | tee "$TMP/soft.log" >/dev/null
+grep -q '4 degraded' "$TMP/soft.log"
+grep -Eq 'completion: *[0-9]' "$TMP/soft.log"
+"$CLI" map --strategy=topolb --tasks=stencil2d:8x8 --topology=torus:8x8 \
+  --seed=7 --output="$TMP/plain.map" >/dev/null
+"$CLI" map --strategy=topolb --tasks=stencil2d:8x8 --topology=torus:8x8 \
+  --degrade-link=0:1:1.0 --seed=7 --output="$TMP/healthy.map" >/dev/null
+if ! diff -q "$TMP/plain.map" "$TMP/healthy.map" >/dev/null; then
+  echo "FAIL: a health-1.0 degrade changed the mapping" >&2
+  exit 1
+fi
+echo "ok: soft faults        --degrade-link engages, health 1.0 is a no-op"
+
 echo "smoke test passed"

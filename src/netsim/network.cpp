@@ -49,6 +49,20 @@ Network::Network(const topo::Topology& topo, NetworkParams params,
   link_free_.assign(neighbor_of_link_.size(), 0.0);
   link_busy_.assign(neighbor_of_link_.size(), 0.0);
   link_slowdown_.assign(neighbor_of_link_.size(), 1.0);
+  // Service rates come from the topology's own link health: a machine
+  // described by a soft-faulted topo::FaultOverlay serialises messages
+  // proportionally slower on its degraded links, with no separate
+  // degrade_link() bookkeeping to keep in sync with the mapping distances.
+  // Links in neighbors() are alive by construction, so health is in (0, 1].
+  for (int u = 0; u < n; ++u) {
+    for (int v : topo_.neighbors(u)) {
+      const double health = topo_.link_health(u, v);
+      TOPOMAP_ASSERT(health > 0.0 && health <= 1.0,
+                     "alive link reports health outside (0, 1]");
+      if (health < 1.0)
+        link_slowdown_[static_cast<std::size_t>(link_id(u, v))] = 1.0 / health;
+    }
+  }
 }
 
 void Network::degrade_link(int from, int to, double factor) {
@@ -136,7 +150,12 @@ int Network::pick_adaptive_link(int cur, int dst) const {
   int best_link = -1;
   SimTime best_free = 0.0;
   for (std::size_t i = 0; i < sorted.size(); ++i) {
-    if (topo_.distance(sorted[i], dst) != cur_dist - 1) continue;
+    // A neighbour is on a minimal path iff crossing its link pays for the
+    // full distance reduction — cost 1 on hop metrics, the health-weighted
+    // fixed-point cost on a degraded overlay.
+    if (topo_.distance(sorted[i], dst) !=
+        cur_dist - topo_.link_cost(cur, sorted[i]))
+      continue;
     const int link = link_offset_[static_cast<std::size_t>(cur)] + slots[i];
     const SimTime free = link_free_[static_cast<std::size_t>(link)];
     if (best_link < 0 || free < best_free) {  // ties: lowest neighbour id

@@ -98,6 +98,13 @@ class Network {
   /// flaky cable or a congested adaptive route; messages crossing the link
   /// serialise proportionally slower.  Must be called before the affected
   /// traffic is injected.
+  ///
+  /// The canonical degradation path is the topology itself: a Network built
+  /// over a soft-faulted topo::FaultOverlay seeds every link's slowdown
+  /// from Topology::link_health at construction, so the simulator, the
+  /// routes, and the mapping distances all describe one machine.  This
+  /// method remains for ad-hoc single-link experiments and overrides the
+  /// seeded value.
   void degrade_link(int from, int to, double factor);
 
   /// Schedule an application callback (client->on_app_event).

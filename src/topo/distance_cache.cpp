@@ -22,7 +22,12 @@ DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
   row_sum_.resize(un);
   row_reach_.resize(un);
   row_max_.resize(un);
+  rebuild_all(topo);
+}
 
+void DistanceCache::rebuild_all(const Topology& topo) {
+  scale_ = topo.distance_scale();
+  const auto un = static_cast<std::size_t>(n_);
   // Rows are independent: fill in parallel, reduce per-chunk diameters in
   // ascending chunk order (max is order-free; kept ordered for form).
   const int grain = 16;
@@ -39,8 +44,34 @@ DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
     }
     chunk_max[static_cast<std::size_t>(chunk)] = mx;
   });
+  diameter_ = 0;
   for (int c = 0; c < chunks; ++c)
     diameter_ = std::max(diameter_, chunk_max[static_cast<std::size_t>(c)]);
+}
+
+bool DistanceCache::rescale_if_needed(const FaultOverlay& overlay) {
+  if (overlay.distance_scale() == scale_) return false;
+  // The plane's units changed (first soft fault engaged the weighted
+  // metric, or the last degraded link vanished): every finite entry
+  // re-expresses, so an all-rows rebuild is the incremental repair.  No
+  // aggregate-based mean refresh afterwards — rebuild_all stores the
+  // overlay's own mean values, exactly like a fresh build.
+  rebuild_all(overlay);
+  return true;
+}
+
+void DistanceCache::recompute_rows(const FaultOverlay& overlay,
+                                   const std::vector<int>& rows) {
+  const int m = static_cast<int>(rows.size());
+  const auto un = static_cast<std::size_t>(n_);
+  support::parallel_for(m, 4, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const int s = rows[static_cast<std::size_t>(i)];
+      overlay.write_distance_row(s, dist_.data() +
+                                        static_cast<std::size_t>(s) * un);
+      recompute_row_stats(s);
+    }
+  });
 }
 
 void DistanceCache::recompute_row_stats(int p) {
@@ -80,7 +111,7 @@ void DistanceCache::refresh_means_and_diameter() {
 }
 
 int DistanceCache::repair_link_failure(const FaultOverlay& overlay, int a,
-                                       int b) {
+                                       int b, int prev_cost) {
   TOPOMAP_REQUIRE(overlay.size() == n_,
                   "repair_link_failure: overlay size mismatch");
   TOPOMAP_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
@@ -88,9 +119,13 @@ int DistanceCache::repair_link_failure(const FaultOverlay& overlay, int a,
   TOPOMAP_REQUIRE(overlay.link_failed(a, b),
                   "repair_link_failure: link " + std::to_string(a) + "-" +
                       std::to_string(b) + " is not failed in the overlay");
-  // Link a-b lies on a shortest path from s iff d(s,a) and d(s,b) are both
-  // finite and differ by exactly 1 (consecutive BFS levels).  Rows failing
-  // that test cannot change; the test reads two cached values per row.
+  if (rescale_if_needed(overlay)) return n_;
+  // The cost the link carried while alive, in this plane's units (a healthy
+  // hop by default).  A link of cost c lies on a shortest path from s iff
+  // d(s,a) and d(s,b) are both finite and differ by exactly c — the BFS
+  // level property, generalized to the weighted plane.  Rows failing that
+  // test cannot change; the test reads two cached values per row.
+  const int cost = prev_cost > 0 ? prev_cost : scale_;
   std::vector<int> affected;
   for (int s = 0; s < n_; ++s) {
     const std::uint16_t* r = row(s);
@@ -98,20 +133,11 @@ int DistanceCache::repair_link_failure(const FaultOverlay& overlay, int a,
     const std::uint16_t db = r[b];
     if (da == kUnreachable || db == kUnreachable) continue;
     const int diff = da > db ? da - db : db - da;
-    if (diff == 1) affected.push_back(s);
+    if (diff == cost) affected.push_back(s);
   }
-  const int m = static_cast<int>(affected.size());
-  const auto un = static_cast<std::size_t>(n_);
-  support::parallel_for(m, 4, [&](int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      const int s = affected[static_cast<std::size_t>(i)];
-      overlay.write_distance_row(s, dist_.data() +
-                                        static_cast<std::size_t>(s) * un);
-      recompute_row_stats(s);
-    }
-  });
+  recompute_rows(overlay, affected);
   refresh_means_and_diameter();
-  return m;
+  return static_cast<int>(affected.size());
 }
 
 int DistanceCache::repair_node_failure(const FaultOverlay& overlay, int p) {
@@ -121,16 +147,24 @@ int DistanceCache::repair_node_failure(const FaultOverlay& overlay, int p) {
   TOPOMAP_REQUIRE(overlay.node_failed(p),
                   "repair_node_failure: processor " + std::to_string(p) +
                       " is not failed in the overlay");
+  if (rescale_if_needed(overlay)) return n_;
   const auto un = static_cast<std::size_t>(n_);
   const auto up = static_cast<std::size_t>(p);
 
   // p's surviving DAG-successor candidates: its base neighbors that are
-  // still alive over still-present links.  Empty for distance-model bases
-  // (fat-tree), where removing a leaf never perturbs survivor distances.
+  // still alive over still-present links, with the cost each link carries
+  // in this plane (the overlay retains health records of links into dead
+  // processors precisely so this probe sees pre-death costs).  Empty for
+  // distance-model bases (fat-tree), where removing a leaf never perturbs
+  // survivor distances.
   std::vector<int> succ;
+  std::vector<int> succ_cost;
   if (overlay.base().has_adjacency()) {
-    for (int q : overlay.base().neighbors(p))
-      if (overlay.is_alive(q) && !overlay.link_failed(p, q)) succ.push_back(q);
+    for (int q : overlay.base().neighbors(p)) {
+      if (!overlay.is_alive(q) || overlay.link_failed(p, q)) continue;
+      succ.push_back(q);
+      succ_cost.push_back(overlay.link_cost(p, q));
+    }
   }
 
   std::vector<int> recompute;  // rows where p was interior to the SP DAG
@@ -140,8 +174,9 @@ int DistanceCache::repair_node_failure(const FaultOverlay& overlay, int p) {
     const std::uint16_t dp = r[up];
     if (dp == kUnreachable) continue;  // p was never reachable: row unchanged
     bool interior = false;
-    for (int q : succ) {
-      if (r[q] == static_cast<std::uint16_t>(dp + 1)) {
+    for (std::size_t i = 0; i < succ.size(); ++i) {
+      const int q = succ[i];
+      if (static_cast<int>(r[q]) == static_cast<int>(dp) + succ_cost[i]) {
         interior = true;
         break;
       }
@@ -166,17 +201,46 @@ int DistanceCache::repair_node_failure(const FaultOverlay& overlay, int p) {
   row_reach_[up] = 0;
   row_max_[up] = 0;
 
-  const int m = static_cast<int>(recompute.size());
-  support::parallel_for(m, 4, [&](int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      const int s = recompute[static_cast<std::size_t>(i)];
-      overlay.write_distance_row(s, dist_.data() +
-                                        static_cast<std::size_t>(s) * un);
-      recompute_row_stats(s);
-    }
-  });
+  recompute_rows(overlay, recompute);
   refresh_means_and_diameter();
-  return m;
+  return static_cast<int>(recompute.size());
+}
+
+int DistanceCache::repair_link_degrade(const FaultOverlay& overlay, int a,
+                                       int b, int prev_cost) {
+  TOPOMAP_REQUIRE(overlay.size() == n_,
+                  "repair_link_degrade: overlay size mismatch");
+  TOPOMAP_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+                  "repair_link_degrade: bad link endpoints");
+  TOPOMAP_REQUIRE(!overlay.link_failed(a, b),
+                  "repair_link_degrade: link " + std::to_string(a) + "-" +
+                      std::to_string(b) +
+                      " has hard-failed; use repair_link_failure");
+  TOPOMAP_REQUIRE(prev_cost > 0, "repair_link_degrade: prev_cost must be the "
+                                 "value degrade_link returned");
+  if (rescale_if_needed(overlay)) return n_;
+  const int new_cost = overlay.link_cost(a, b);
+  if (new_cost == prev_cost) return 0;  // quantized to the same cost: no-op
+  // Affected-row oracle, O(1) per row from the cached plane:
+  //  * cost increase — only rows that had the link on a shortest path
+  //    (|d(s,a) - d(s,b)| == prev_cost) can worsen;
+  //  * cost decrease — only rows where the cheaper link now undercuts the
+  //    stored metric (|d(s,a) - d(s,b)| > new_cost; equality would only add
+  //    an alternative equal-cost path, leaving distances unchanged).
+  std::vector<int> affected;
+  for (int s = 0; s < n_; ++s) {
+    const std::uint16_t* r = row(s);
+    const std::uint16_t da = r[a];
+    const std::uint16_t db = r[b];
+    if (da == kUnreachable || db == kUnreachable) continue;
+    const int diff = da > db ? da - db : db - da;
+    const bool hit = new_cost > prev_cost ? diff == prev_cost
+                                          : diff > new_cost;
+    if (hit) affected.push_back(s);
+  }
+  recompute_rows(overlay, affected);
+  refresh_means_and_diameter();
+  return static_cast<int>(affected.size());
 }
 
 }  // namespace topomap::topo

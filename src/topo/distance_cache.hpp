@@ -5,7 +5,7 @@
 // Metropolis chain — funnels through Topology::distance(a, b).  Through the
 // vtable that is a call + (for grids) a div/mod chain per lookup, repeated
 // billions of times per mapping run.  DistanceCache materializes the whole
-// p x p hop-distance matrix once (row-major uint16_t, built via the batch
+// p x p matrix once (row-major uint16_t, built via the batch
 // Topology::write_distance_row hook, rows filled in parallel) plus the
 // per-source mean distances, and hands the kernels raw row pointers.
 //
@@ -20,21 +20,37 @@
 // on the cache produce results byte-identical to virtual dispatch — the
 // property tests assert this for every strategy.
 //
+// Weighted plane: the cache is metric-agnostic — it stores whatever
+// write_distance_row produces, in the topology's distance_scale() units.
+// For a soft-faulted topo::FaultOverlay that is the fixed-point
+// health-weighted plane (healthy hop = kHealthCostOne units); with every
+// link healthy the scale is 1 and the plane is byte-identical to the plain
+// hop plane.  The scale captured at build time is how repairs detect a
+// *unit change* (first degrade, or last degraded link disappearing): the
+// whole plane then re-expresses in the new units, so the repair falls back
+// to an all-rows rebuild exactly once per transition.
+//
 // Fault repair: when the topology is wrapped in a topo::FaultOverlay, the
 // cache can follow fault injections *incrementally* instead of the O(p^2)
 // all-rows rebuild the ROADMAP flagged.  repair_link_failure(a, b) re-runs
-// BFS only for source rows whose shortest-path DAG used link a-b — detected
-// in O(1) per row from the cached values themselves: link a-b lies on some
-// shortest path from s iff |d(s,a) - d(s,b)| == 1 (BFS level property), so
-// no per-row touched-link bitset needs to be maintained.  Similarly
-// repair_node_failure(p) fully recomputes a row only when p was *interior*
-// to its DAG (p has an alive DAG successor); rows where p was a leaf are
-// patched in place (entry -> unreachable, integer row sum/count adjusted).
-// Unreachable and dead entries hold FaultOverlay::kUnreachable (0xFFFF,
-// distances are capped far below by the 20000-node limit).  The repaired
-// cache is byte-identical to a from-scratch rebuild on the faulted overlay
-// — matrix, means, and diameter — which the property tests assert for
-// random fault sequences under 1 and 4 threads.
+// BFS/Dijkstra only for source rows whose shortest-path DAG used link a-b —
+// detected in O(1) per row from the cached values themselves: a link of
+// cost c lies on some shortest path from s iff |d(s,a) - d(s,b)| == c (the
+// BFS level property generalized to weighted planes), so no per-row
+// touched-link bitset needs to be maintained.  repair_link_degrade(a, b)
+// uses the same oracle in both directions: a cost increase can only affect
+// rows that had the link tight (|d(s,a) - d(s,b)| == old cost); a decrease
+// only rows where the cheaper link now undercuts the stored distances
+// (|d(s,a) - d(s,b)| > new cost).  Similarly repair_node_failure(p) fully
+// recomputes a row only when p was *interior* to its DAG (p has an alive
+// DAG successor q with d(s,q) == d(s,p) + cost(p,q)); rows where p was a
+// leaf are patched in place (entry -> unreachable, integer row sum/count
+// adjusted).  Unreachable and dead entries hold FaultOverlay::kUnreachable
+// (0xFFFF, distances are capped far below by the 20000-node limit and the
+// overlay's weighted-overflow check).  The repaired cache is byte-identical
+// to a from-scratch rebuild on the faulted overlay — matrix, means, and
+// diameter — which the property tests assert for random interleaved
+// degrade/fail sequences under 1 and 4 threads.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +69,10 @@ class DistanceCache {
   explicit DistanceCache(const Topology& topo);
 
   int size() const { return n_; }
+
+  /// distance_scale() of the topology at build/last-repair time: the units
+  /// of every matrix entry (1 = plain hops).
+  int scale() const { return scale_; }
 
   /// Row pointer: row(a)[b] == distance(a, b).  The fastest access path —
   /// hoist it out of inner loops over b.  Rows are contiguous: row(0) is
@@ -74,22 +94,43 @@ class DistanceCache {
 
   /// Incorporate overlay.fail_link(a, b) — call once, immediately after the
   /// overlay mutation.  Recomputes only the source rows whose shortest-path
-  /// DAG crossed the failed link; refreshes means and diameter.  The
-  /// overlay's base must be the topology this cache was built on (or the
-  /// overlay itself).  Returns the number of rows recomputed by BFS.
-  int repair_link_failure(const FaultOverlay& overlay, int a, int b);
+  /// DAG crossed the failed link; refreshes means and diameter.
+  /// `prev_cost` is the cost the link carried while alive in the
+  /// pre-mutation plane units (fail_link's return value); 0 means "it was
+  /// healthy" (one hop — the only possibility before soft faults existed).
+  /// The overlay's base must be the topology this cache was built on (or
+  /// the overlay itself).  Returns the number of rows recomputed.
+  int repair_link_failure(const FaultOverlay& overlay, int a, int b,
+                          int prev_cost = 0);
 
   /// Incorporate overlay.fail_node(p) — call once, immediately after the
   /// overlay mutation.  Blanks p's row, patches rows where p was a DAG
-  /// leaf, BFS-recomputes rows where p was interior.  Returns the number of
-  /// rows recomputed by BFS (excluding p's own blanked row).
+  /// leaf, recomputes rows where p was interior.  Returns the number of
+  /// rows recomputed (excluding p's own blanked row).
   int repair_node_failure(const FaultOverlay& overlay, int p);
 
+  /// Incorporate overlay.degrade_link(a, b, health) — call once,
+  /// immediately after the overlay mutation, passing degrade_link's return
+  /// value as `prev_cost`.  When the mutation changed the plane's units
+  /// (first soft fault, or the last one restored) every row rebuilds;
+  /// otherwise only rows whose shortest paths the cost change can touch
+  /// are recomputed.  Returns the number of rows recomputed.
+  int repair_link_degrade(const FaultOverlay& overlay, int a, int b,
+                          int prev_cost);
+
  private:
+  void rebuild_all(const Topology& topo);
+  /// All-rows rebuild when the overlay's distance_scale() no longer matches
+  /// the plane's units.  Returns true when it rebuilt (repair is done).
+  bool rescale_if_needed(const FaultOverlay& overlay);
+  /// Recompute the given source rows from the overlay, in parallel.
+  void recompute_rows(const FaultOverlay& overlay,
+                      const std::vector<int>& rows);
   void recompute_row_stats(int p);
   void refresh_means_and_diameter();
 
   int n_ = 0;
+  int scale_ = 1;
   int diameter_ = 0;
   std::vector<std::uint16_t> dist_;  // row-major n x n
   std::vector<double> mean_dist_;    // virtual mean_distance_from values

@@ -1,6 +1,9 @@
 #include "topo/fault_overlay.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -22,7 +25,7 @@ FaultOverlay::FaultOverlay(TopologyPtr base)
   dead_.assign(static_cast<std::size_t>(size_), 0);
 }
 
-void FaultOverlay::fail_link(int a, int b) {
+int FaultOverlay::fail_link(int a, int b) {
   check_node(a);
   check_node(b);
   TOPOMAP_REQUIRE(a != b, "fail_link: self-link " + std::to_string(a));
@@ -34,7 +37,19 @@ void FaultOverlay::fail_link(int a, int b) {
   TOPOMAP_REQUIRE(std::find(nb.begin(), nb.end(), b) != nb.end(),
                   "fail_link: no link " + std::to_string(a) + "-" +
                       std::to_string(b) + " in " + base_->name());
-  if (failed_links_.insert(norm_link(a, b)).second) ++version_;
+  const auto key = norm_link(a, b);
+  // Cost the link carried while alive, in pre-mutation plane units.
+  const int pre_scale = distance_scale();
+  int prev = pre_scale;
+  if (const auto it = degraded_.find(key); it != degraded_.end()) {
+    prev = it->second;
+    degraded_.erase(it);  // the hard fault supersedes the soft one
+    ++version_;
+    failed_links_.insert(key);
+    return prev;
+  }
+  if (failed_links_.insert(key).second) ++version_;
+  return prev;
 }
 
 void FaultOverlay::fail_node(int p) {
@@ -45,8 +60,85 @@ void FaultOverlay::fail_node(int p) {
   ++version_;
 }
 
+int FaultOverlay::degrade_link(int a, int b, double health) {
+  check_node(a);
+  check_node(b);
+  TOPOMAP_REQUIRE(a != b, "degrade_link: self-link " + std::to_string(a));
+  TOPOMAP_REQUIRE(base_->has_adjacency(),
+                  "degrade_link: " + base_->name() +
+                      " is a distance model without processor-level links; "
+                      "link health is undefined on it");
+  const auto nb = base_->neighbors(a);
+  TOPOMAP_REQUIRE(std::find(nb.begin(), nb.end(), b) != nb.end(),
+                  "degrade_link: no link " + std::to_string(a) + "-" +
+                      std::to_string(b) + " in " + base_->name());
+  TOPOMAP_REQUIRE(!link_failed(a, b),
+                  "degrade_link: link " + std::to_string(a) + "-" +
+                      std::to_string(b) + " has hard-failed (health 0); "
+                      "links cannot be revived");
+  TOPOMAP_REQUIRE(is_alive(a) && is_alive(b),
+                  "degrade_link: an endpoint of " + std::to_string(a) + "-" +
+                      std::to_string(b) + " has failed");
+  TOPOMAP_REQUIRE(health > 0.0 && health <= 1.0,
+                  "degrade_link: health must be in (0, 1], got " +
+                      std::to_string(health));
+  // Quantize to the fixed-point cost.  Costs rounding back to one healthy
+  // hop (health above ~0.94) are normalized to pristine, so the weighted
+  // mode only engages when some link is measurably sick.
+  const long long cost_ll =
+      std::llround(static_cast<double>(kHealthCostOne) / health);
+  TOPOMAP_REQUIRE(cost_ll <= kMaxFiniteDistance,
+                  "degrade_link: health " + std::to_string(health) +
+                      " is too low to represent; use fail_link");
+  const int cost = std::max(kHealthCostOne, static_cast<int>(cost_ll));
+
+  const auto key = norm_link(a, b);
+  const int pre_scale = distance_scale();
+  const auto it = degraded_.find(key);
+  const int prev = it != degraded_.end() ? it->second : pre_scale;
+  if (cost == kHealthCostOne) {
+    // Restored to full health.
+    if (it != degraded_.end()) {
+      degraded_.erase(it);
+      ++version_;
+    }
+    return prev;
+  }
+  if (it != degraded_.end()) {
+    if (it->second != cost) {
+      it->second = cost;
+      ++version_;
+    }
+  } else {
+    degraded_.emplace(key, cost);
+    ++version_;
+  }
+  return prev;
+}
+
 bool FaultOverlay::link_failed(int a, int b) const {
   return failed_links_.count(norm_link(a, b)) != 0;
+}
+
+double FaultOverlay::link_health(int a, int b) const {
+  if (link_failed(a, b) || dead_[static_cast<std::size_t>(a)] ||
+      dead_[static_cast<std::size_t>(b)])
+    return 0.0;
+  const auto it = degraded_.find(norm_link(a, b));
+  if (it == degraded_.end()) return 1.0;
+  return static_cast<double>(kHealthCostOne) /
+         static_cast<double>(it->second);
+}
+
+int FaultOverlay::link_cost(int a, int b) const {
+  if (degraded_.empty()) return 1;
+  const auto it = degraded_.find(norm_link(a, b));
+  return it != degraded_.end() ? it->second : kHealthCostOne;
+}
+
+int FaultOverlay::weighted_cost(int u, int v) const {
+  const auto it = degraded_.find(norm_link(u, v));
+  return it != degraded_.end() ? it->second : kHealthCostOne;
 }
 
 bool FaultOverlay::is_alive(int p) const {
@@ -69,6 +161,37 @@ int FaultOverlay::distance(int a, int b) const {
                                    " has failed");
   if (!has_faults() || !base_->has_adjacency()) return base_->distance(a, b);
   if (a == b) return 0;
+  if (!degraded_.empty()) {
+    // Weighted mode: early-exit Dijkstra (settle b, return its cost).
+    using Item = std::pair<std::uint32_t, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    std::vector<std::uint16_t> dist(static_cast<std::size_t>(size_),
+                                    kUnreachable);
+    dist[static_cast<std::size_t>(a)] = 0;
+    pq.push({0, a});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      if (u == b) return static_cast<int>(d);
+      for (int v : base_->neighbors(u)) {
+        if (dead_[static_cast<std::size_t>(v)]) continue;
+        if (link_failed(u, v)) continue;
+        const std::uint32_t nd = d + static_cast<std::uint32_t>(
+                                         weighted_cost(u, v));
+        TOPOMAP_REQUIRE(nd <= kMaxFiniteDistance,
+                        "distance: weighted path cost overflows the "
+                        "fixed-point uint16 plane on " + name());
+        if (nd < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = static_cast<std::uint16_t>(nd);
+          pq.push({nd, v});
+        }
+      }
+    }
+    TOPOMAP_REQUIRE(false, "distance: processors " + std::to_string(a) +
+                               " and " + std::to_string(b) +
+                               " are disconnected by faults in " + name());
+  }
   // Early-exit BFS from a; stateless so concurrent use is safe.
   std::vector<std::uint16_t> dist(static_cast<std::size_t>(size_),
                                   kUnreachable);
@@ -100,7 +223,7 @@ std::vector<int> FaultOverlay::neighbors(int p) const {
   check_node(p);
   if (dead_[static_cast<std::size_t>(p)]) return {};
   std::vector<int> out = base_->neighbors(p);
-  if (!has_faults()) return out;
+  if (dead_count_ == 0 && failed_links_.empty()) return out;
   out.erase(std::remove_if(out.begin(), out.end(),
                            [&](int q) {
                              return dead_[static_cast<std::size_t>(q)] != 0 ||
@@ -113,7 +236,8 @@ std::vector<int> FaultOverlay::neighbors(int p) const {
 std::string FaultOverlay::name() const {
   std::ostringstream os;
   os << "faults(nodes=" << dead_count_ << ",links=" << failed_links_.size()
-     << ",v=" << version_ << ") over " << base_->name();
+     << ",deg=" << degraded_.size() << ",v=" << version_ << ") over "
+     << base_->name();
   return os.str();
 }
 
@@ -167,6 +291,12 @@ bool FaultOverlay::route_intact(const std::vector<int>& path) const {
   for (std::size_t i = 0; i < path.size(); ++i) {
     if (dead_[static_cast<std::size_t>(path[i])]) return false;
     if (i > 0 && link_failed(path[i - 1], path[i])) return false;
+    // In weighted mode a route touching a degraded link may no longer be
+    // cheapest; a degrade-free min-hop route always is (every alternative
+    // crosses at least as many links, each at least the healthy cost).
+    if (i > 0 && !degraded_.empty() &&
+        degraded_.count(norm_link(path[i - 1], path[i])) != 0)
+      return false;
   }
   return true;
 }
@@ -184,6 +314,22 @@ std::vector<int> FaultOverlay::route(int a, int b) const {
     if (route_intact(path)) return path;
   }
   if (a == b) return {a};
+  if (!degraded_.empty()) {
+    // Cheapest route by Dijkstra with a deterministic parent tree.
+    std::vector<std::uint16_t> dist(static_cast<std::size_t>(size_));
+    std::vector<int> parent(static_cast<std::size_t>(size_), -1);
+    dijkstra_row(a, dist.data(), &parent);
+    TOPOMAP_REQUIRE(dist[static_cast<std::size_t>(b)] != kUnreachable,
+                    "route: processors " + std::to_string(a) + " and " +
+                        std::to_string(b) +
+                        " are disconnected by faults in " + name());
+    std::vector<int> path;
+    for (int v = b; v != a; v = parent[static_cast<std::size_t>(v)])
+      path.push_back(v);
+    path.push_back(a);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
   // BFS with parent tracking over the alive subgraph.
   std::vector<int> parent(static_cast<std::size_t>(size_), -1);
   std::vector<int> frontier{a}, next;
@@ -236,6 +382,10 @@ void FaultOverlay::write_distance_row(int p, std::uint16_t* out) const {
       if (dead_[static_cast<std::size_t>(q)]) out[q] = kUnreachable;
     return;
   }
+  if (!degraded_.empty()) {
+    dijkstra_row(p, out, nullptr);
+    return;
+  }
   bfs_row(p, out);
 }
 
@@ -257,6 +407,37 @@ void FaultOverlay::bfs_row(int src, std::uint16_t* out) const {
       }
     }
     frontier.swap(next);
+  }
+}
+
+void FaultOverlay::dijkstra_row(int src, std::uint16_t* out,
+                                std::vector<int>* parent) const {
+  std::fill(out, out + size_, kUnreachable);
+  if (parent != nullptr)
+    std::fill(parent->begin(), parent->end(), -1);
+  using Item = std::pair<std::uint32_t, int>;  // (cost, node): deterministic
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  out[src] = 0;
+  if (parent != nullptr) (*parent)[static_cast<std::size_t>(src)] = src;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != out[u]) continue;  // stale heap entry
+    for (int v : base_->neighbors(u)) {
+      if (dead_[static_cast<std::size_t>(v)]) continue;
+      if (link_failed(u, v)) continue;
+      const std::uint32_t nd =
+          d + static_cast<std::uint32_t>(weighted_cost(u, v));
+      TOPOMAP_REQUIRE(nd <= kMaxFiniteDistance,
+                      "weighted path cost overflows the fixed-point uint16 "
+                      "plane on " + name());
+      if (nd < out[v]) {
+        out[v] = static_cast<std::uint16_t>(nd);
+        if (parent != nullptr) (*parent)[static_cast<std::size_t>(v)] = u;
+        pq.push({nd, v});
+      }
+    }
   }
 }
 

@@ -1,0 +1,192 @@
+#include "topo/fault_spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace topomap::topo {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Strict integer parse: the whole token must be one base-10 integer.
+int parse_int(const std::string& token, const std::string& what) {
+  std::size_t pos = 0;
+  int value = 0;
+  try {
+    value = std::stoi(token, &pos);
+  } catch (const std::exception&) {
+    throw precondition_error(what + ": '" + token + "' is not an integer");
+  }
+  TOPOMAP_REQUIRE(pos == token.size(),
+                  what + ": trailing characters in '" + token + "'");
+  return value;
+}
+
+/// Strict double parse: the whole token must be one number.
+double parse_double(const std::string& token, const std::string& what) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw precondition_error(what + ": '" + token + "' is not a number");
+  }
+  TOPOMAP_REQUIRE(pos == token.size(),
+                  what + ": trailing characters in '" + token + "'");
+  return value;
+}
+
+std::pair<int, int> norm_link(int a, int b) {
+  return a < b ? std::pair<int, int>{a, b} : std::pair<int, int>{b, a};
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& fail_links,
+                           const std::string& fail_nodes,
+                           const std::string& degrade_links,
+                           std::int64_t random_link_faults,
+                           std::int64_t random_node_faults,
+                           std::int64_t random_degrades,
+                           std::uint64_t fault_seed) {
+  TOPOMAP_REQUIRE(random_link_faults >= 0,
+                  "--random-link-faults must be >= 0");
+  TOPOMAP_REQUIRE(random_node_faults >= 0,
+                  "--random-node-faults must be >= 0");
+  TOPOMAP_REQUIRE(random_degrades >= 0, "--random-degrades must be >= 0");
+
+  FaultSpec spec;
+  spec.random_link_faults = static_cast<int>(random_link_faults);
+  spec.random_node_faults = static_cast<int>(random_node_faults);
+  spec.random_degrades = static_cast<int>(random_degrades);
+  spec.seed = fault_seed;
+
+  std::set<std::pair<int, int>> seen_links;
+  if (!fail_links.empty()) {
+    for (const std::string& pair : split(fail_links, ',')) {
+      const auto ends = split(pair, ':');
+      TOPOMAP_REQUIRE(ends.size() == 2,
+                      "--fail-link entries must look like a:b, got '" + pair +
+                          "'");
+      const int a = parse_int(ends[0], "--fail-link");
+      const int b = parse_int(ends[1], "--fail-link");
+      TOPOMAP_REQUIRE(seen_links.insert(norm_link(a, b)).second,
+                      "--fail-link lists link " + pair + " twice");
+      spec.fail_links.emplace_back(a, b);
+    }
+  }
+
+  if (!fail_nodes.empty()) {
+    std::set<int> seen_nodes;
+    for (const std::string& node : split(fail_nodes, ',')) {
+      const int p = parse_int(node, "--fail-node");
+      TOPOMAP_REQUIRE(seen_nodes.insert(p).second,
+                      "--fail-node lists processor " + node + " twice");
+      spec.fail_nodes.push_back(p);
+    }
+  }
+
+  if (!degrade_links.empty()) {
+    std::set<std::pair<int, int>> seen_degrades;
+    for (const std::string& entry : split(degrade_links, ',')) {
+      const auto fields = split(entry, ':');
+      TOPOMAP_REQUIRE(fields.size() == 3,
+                      "--degrade-link entries must look like a:b:health, "
+                      "got '" + entry + "'");
+      LinkDegradeSpec d;
+      d.a = parse_int(fields[0], "--degrade-link");
+      d.b = parse_int(fields[1], "--degrade-link");
+      d.health = parse_double(fields[2], "--degrade-link");
+      TOPOMAP_REQUIRE(d.health >= 0.0 && d.health <= 1.0,
+                      "--degrade-link health must be in [0, 1], got '" +
+                          fields[2] + "'");
+      const auto key = norm_link(d.a, d.b);
+      TOPOMAP_REQUIRE(seen_degrades.insert(key).second,
+                      "--degrade-link lists link " + fields[0] + ":" +
+                          fields[1] + " twice");
+      TOPOMAP_REQUIRE(seen_links.count(key) == 0,
+                      "link " + fields[0] + ":" + fields[1] +
+                          " appears in both --fail-link and --degrade-link");
+      spec.degrades.push_back(d);
+    }
+  }
+  return spec;
+}
+
+std::shared_ptr<FaultOverlay> build_fault_overlay(const TopologyPtr& base,
+                                                  const FaultSpec& spec) {
+  TOPOMAP_REQUIRE(base != nullptr, "build_fault_overlay: null base topology");
+  if (spec.empty()) return nullptr;
+
+  auto overlay = std::make_shared<FaultOverlay>(base);
+  for (const auto& [a, b] : spec.fail_links) overlay->fail_link(a, b);
+  for (int p : spec.fail_nodes) overlay->fail_node(p);
+  for (const LinkDegradeSpec& d : spec.degrades) {
+    // Health 0 is the hard-fault limit of the soft-fault model.
+    if (d.health == 0.0)
+      overlay->fail_link(d.a, d.b);
+    else
+      overlay->degrade_link(d.a, d.b, d.health);
+  }
+
+  Rng fault_rng(spec.seed);
+  const int p = base->size();
+  for (int k = 0; k < spec.random_node_faults; ++k) {
+    // Draw until an alive processor comes up (kills are idempotent, so a
+    // bounded retry keeps the fault count exact).
+    for (int tries = 0; tries < 64 * p; ++tries) {
+      const int cand =
+          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
+      if (!overlay->is_alive(cand)) continue;
+      overlay->fail_node(cand);
+      break;
+    }
+  }
+  for (int k = 0; k < spec.random_link_faults; ++k) {
+    for (int tries = 0; tries < 64 * p; ++tries) {
+      const int a =
+          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
+      if (!overlay->is_alive(a)) continue;
+      const auto nb = overlay->neighbors(a);
+      if (nb.empty()) continue;
+      const int b = nb[static_cast<std::size_t>(
+          fault_rng.uniform(static_cast<std::uint64_t>(nb.size())))];
+      overlay->fail_link(a, b);
+      break;
+    }
+  }
+  for (int k = 0; k < spec.random_degrades; ++k) {
+    for (int tries = 0; tries < 64 * p; ++tries) {
+      const int a =
+          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
+      if (!overlay->is_alive(a)) continue;
+      const auto nb = overlay->neighbors(a);
+      if (nb.empty()) continue;
+      const int b = nb[static_cast<std::size_t>(
+          fault_rng.uniform(static_cast<std::uint64_t>(nb.size())))];
+      if (overlay->link_health(a, b) < 1.0) continue;  // keep count exact
+      overlay->degrade_link(a, b, fault_rng.uniform_double(0.1, 0.9));
+      break;
+    }
+  }
+  return overlay;
+}
+
+}  // namespace topomap::topo

@@ -1,0 +1,78 @@
+// Parsing and application of the CLI fault/degrade flag family.
+//
+// topomap's map/simulate/evacuate subcommands accept
+//   --fail-link=a:b[,c:d...]        hard link failures
+//   --fail-node=p[,q...]            processor deaths
+//   --degrade-link=a:b:h[,...]      soft faults: link health h in (0, 1]
+//                                   (h == 0 is accepted as the hard-fault
+//                                   limit and routed to fail_link)
+//   --random-link-faults=K / --random-node-faults=K / --random-degrades=K
+//   --fault-seed=S                  RNG stream for the random draws
+//
+// The parser used to live inside tools/topomap_cli.cpp where nothing could
+// test it; it is a library now so malformed specs, out-of-range healths,
+// duplicates, and topology-capability rejections (fat-tree has no
+// processor-level links) are covered directly.  Parsing is strict: every
+// token must consume entirely ("1x" is not 1), every entry must have the
+// exact field count, and duplicate link/node entries are an error rather
+// than a silent overwrite — sweep-script typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/fault_overlay.hpp"
+
+namespace topomap::topo {
+
+/// One --degrade-link entry: link a-b at `health` of nominal bandwidth.
+struct LinkDegradeSpec {
+  int a = 0;
+  int b = 0;
+  double health = 1.0;
+};
+
+/// The parsed fault request of one CLI invocation.
+struct FaultSpec {
+  std::vector<std::pair<int, int>> fail_links;
+  std::vector<int> fail_nodes;
+  std::vector<LinkDegradeSpec> degrades;
+  int random_link_faults = 0;
+  int random_node_faults = 0;
+  int random_degrades = 0;
+  std::uint64_t seed = 42;
+
+  bool empty() const {
+    return fail_links.empty() && fail_nodes.empty() && degrades.empty() &&
+           random_link_faults == 0 && random_node_faults == 0 &&
+           random_degrades == 0;
+  }
+};
+
+/// Parse the raw flag values.  Empty strings / zero counts mean "none".
+/// Throws precondition_error naming the offending token on malformed
+/// entries, non-integer fields, health outside [0, 1], duplicate link or
+/// node entries, a link listed as both failed and degraded, or negative
+/// random counts.
+FaultSpec parse_fault_spec(const std::string& fail_links,
+                           const std::string& fail_nodes,
+                           const std::string& degrade_links,
+                           std::int64_t random_link_faults,
+                           std::int64_t random_node_faults,
+                           std::int64_t random_degrades,
+                           std::uint64_t fault_seed);
+
+/// Build the overlay described by `spec` over `base`, or nullptr when the
+/// spec is empty.  Explicit entries apply first (degrades with health 0
+/// become hard link failures), then random node faults, link faults, and
+/// degrades are drawn from a dedicated Rng(seed) so the mapping seed's
+/// stream is unaffected; random degrade healths are uniform in [0.1, 0.9].
+/// Propagates the overlay's own rejections (nonexistent links, fat-tree
+/// link operations, out-of-range processors).
+std::shared_ptr<FaultOverlay> build_fault_overlay(const TopologyPtr& base,
+                                                  const FaultSpec& spec);
+
+}  // namespace topomap::topo

@@ -34,6 +34,16 @@ class SubTopology final : public Topology {
   std::vector<int> neighbors(int p) const override;
   std::string name() const override;
   bool has_adjacency() const override { return base_->has_adjacency(); }
+  /// Metric units and per-link costs/health are the base's (a soft-faulted
+  /// FaultOverlay keeps its weighted fixed-point plane through the compact
+  /// view, so alive-subset mapping also avoids sick links).
+  int distance_scale() const override { return base_->distance_scale(); }
+  int link_cost(int a, int b) const override {
+    return base_->link_cost(node_of(a), node_of(b));
+  }
+  double link_health(int a, int b) const override {
+    return base_->link_health(node_of(a), node_of(b));
+  }
   double mean_distance_from(int p) const override;
   int diameter() const override;
   /// The base route translated to compact ids.  Succeeds whenever the base

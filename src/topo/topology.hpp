@@ -37,6 +37,29 @@ class Topology {
   /// simulator, FaultOverlay link failures — are unsupported on them.
   virtual bool has_adjacency() const { return true; }
 
+  /// Units of distance(): 1 when distances are plain hop counts (every
+  /// topology here except a soft-faulted FaultOverlay).  A topology whose
+  /// links carry non-uniform costs reports its fixed-point denominator —
+  /// one healthy hop then costs distance_scale() units — so consumers can
+  /// convert back to hop-equivalents.  The value changes only when the
+  /// underlying link-cost set changes (see FaultOverlay::distance_scale),
+  /// which topo::DistanceCache uses to detect that a whole plane must be
+  /// re-expressed rather than incrementally repaired.
+  virtual int distance_scale() const { return 1; }
+
+  /// Cost of traversing the base link a-b, in distance_scale() units.  Only
+  /// meaningful for pairs joined by a physical link; the default — uniform
+  /// cost, one hop — is distance_scale().  FaultOverlay overrides this with
+  /// per-link health-derived costs.
+  virtual int link_cost(int, int) const { return distance_scale(); }
+
+  /// Health of the directed link a-b in (0, 1]: the fraction of nominal
+  /// bandwidth it still delivers.  1.0 everywhere by default; FaultOverlay
+  /// reports degraded links' quantized health so the network simulator can
+  /// derive per-link service rates from the same overlay that shapes the
+  /// mapping distances.
+  virtual double link_health(int, int) const { return 1.0; }
+
   /// Mean hop distance from p to every processor, self included:
   /// (1/|V_p|) * sum_q d(p, q).  This is the second-order expected-distance
   /// term of TopoLB.  Concrete topologies override with closed forms; the

@@ -1,6 +1,6 @@
 // Fault-tolerance layer: FaultOverlay semantics, SubTopology re-indexing,
 // incremental DistanceCache repair (property-tested against from-scratch
-// rebuilds), and alive-subset mapping.
+// rebuilds), alive-subset mapping, and evacuation determinism.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -11,6 +11,7 @@
 #include "core/mapping.hpp"
 #include "core/strategy.hpp"
 #include "graph/builders.hpp"
+#include "runtime/evacuate.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -162,15 +163,19 @@ TEST(SubTopology, RejectsDisconnectedSubsets) {
 }
 
 // ---------------------------------------------------------------------------
-// Property: after every fault, the incrementally repaired cache is
-// byte-identical to a cache rebuilt from scratch on the faulted overlay —
-// matrix bytes, stored means, and diameter — under 1 and 4 threads.
+// Property: after every fault — hard link failures, node deaths, and soft
+// degrades (including health-1.0 restores) interleaved at random — the
+// incrementally repaired cache is byte-identical to a cache rebuilt from
+// scratch on the faulted overlay — matrix bytes, stored means, and
+// diameter — under 1 and 4 threads.
 // ---------------------------------------------------------------------------
 
 struct FaultStep {
-  bool is_link = false;
+  enum class Kind { kLinkFail, kNodeFail, kDegrade };
+  Kind kind = Kind::kLinkFail;
   int a = 0;
   int b = 0;
+  double health = 1.0;
 };
 
 /// Apply `steps` faults drawn from rng, repairing after each, and check the
@@ -183,6 +188,9 @@ void run_fault_sequence(const TopologyPtr& base, std::uint64_t seed, int steps,
   Rng rng(seed);
   const int p = base->size();
   const bool links_ok = base->has_adjacency();
+  // Degrade healths cycle through worsenings and a full restore, so the
+  // sequence also crosses the weighted<->unweighted plane transitions.
+  const double healths[] = {0.5, 0.25, 0.75, 1.0};
   for (int step = 0; step < steps; ++step) {
     // Draw a fault that is actually applicable (alive node / alive link).
     FaultStep f;
@@ -191,32 +199,50 @@ void run_fault_sequence(const TopologyPtr& base, std::uint64_t seed, int steps,
       const int a =
           static_cast<int>(rng.uniform(static_cast<std::uint64_t>(p)));
       if (!overlay->is_alive(a)) continue;
-      const bool want_link = links_ok && rng.uniform(2) == 0;
-      if (want_link) {
+      const std::uint64_t kind = links_ok ? rng.uniform(4) : 3;
+      if (kind < 3) {  // link fail or degrade
         const auto nb = overlay->neighbors(a);
         if (nb.empty()) continue;
-        f = {true, a,
-             nb[static_cast<std::size_t>(
-                 rng.uniform(static_cast<std::uint64_t>(nb.size())))]};
+        f.a = a;
+        f.b = nb[static_cast<std::size_t>(
+            rng.uniform(static_cast<std::uint64_t>(nb.size())))];
+        if (kind == 0) {
+          f.kind = FaultStep::Kind::kLinkFail;
+        } else {
+          f.kind = FaultStep::Kind::kDegrade;
+          f.health = healths[rng.uniform(4)];
+        }
         found = true;
       } else {
         if (overlay->num_alive() <= 2) continue;  // keep survivors around
-        f = {false, a, 0};
+        f = {FaultStep::Kind::kNodeFail, a, 0, 1.0};
         found = true;
       }
     }
     if (!found) break;
 
-    if (f.is_link) {
-      overlay->fail_link(f.a, f.b);
-      repaired.repair_link_failure(*overlay, f.a, f.b);
-    } else {
-      overlay->fail_node(f.a);
-      repaired.repair_node_failure(*overlay, f.a);
+    switch (f.kind) {
+      case FaultStep::Kind::kLinkFail: {
+        const int prev = overlay->fail_link(f.a, f.b);
+        repaired.repair_link_failure(*overlay, f.a, f.b, prev);
+        break;
+      }
+      case FaultStep::Kind::kNodeFail:
+        overlay->fail_node(f.a);
+        repaired.repair_node_failure(*overlay, f.a);
+        break;
+      case FaultStep::Kind::kDegrade: {
+        const int prev = overlay->degrade_link(f.a, f.b, f.health);
+        repaired.repair_link_degrade(*overlay, f.a, f.b, prev);
+        break;
+      }
     }
 
     const DistanceCache fresh(*overlay);
     ASSERT_EQ(repaired.size(), fresh.size());
+    ASSERT_EQ(repaired.scale(), fresh.scale())
+        << "plane units diverged after step " << step << " on "
+        << overlay->name();
     const std::size_t bytes = static_cast<std::size_t>(p) *
                               static_cast<std::size_t>(p) *
                               sizeof(std::uint16_t);
@@ -353,3 +379,71 @@ TEST(MapOnAlive, LinkFaultsSteerPlacementAwayFromTheCut) {
 
 }  // namespace
 }  // namespace topomap::core
+
+namespace topomap::rts {
+namespace {
+
+using topo::FaultOverlay;
+using topo::make_topology;
+
+TEST(Evacuate, TieBreaksToLowestProcessorId) {
+  // Ring of 4 heavy tasks on alternate processors of an 8-ring; killing
+  // proc 2 strands task 1, whose neighbours sit on procs 0 and 4.  The
+  // death cuts the ring, so on the rerouted metric the free processors
+  // cost 6 (procs 1, 3 — walled off from one neighbour) or 4 (procs 5, 7,
+  // equidistant).  The documented tie-break — lowest processor id among
+  // the tied best — must pick proc 5, every run, any thread count.
+  const auto g = graph::ring(4, 8.0);
+  auto overlay = std::make_shared<FaultOverlay>(make_topology("torus:8"));
+  const core::Mapping previous{0, 2, 4, 6};
+  overlay->fail_node(2);
+  const EvacuationResult r = evacuate(g, *overlay, previous, 0);
+  EXPECT_EQ(r.stranded, 1);
+  EXPECT_EQ(r.migrations, 1);
+  ASSERT_EQ(r.mapping.size(), 4u);
+  EXPECT_EQ(r.mapping[1], 5);
+  // Survivors keep their seats.
+  EXPECT_EQ(r.mapping[0], 0);
+  EXPECT_EQ(r.mapping[2], 4);
+  EXPECT_EQ(r.mapping[3], 6);
+}
+
+TEST(Evacuate, CompareEvacuateVsRemapIsThreadCountInvariant) {
+  // Same faults (two deaths + one soft degrade, so the weighted plane is
+  // active), same seed: the evacuation and the full remap must be
+  // byte-identical under 1 and 4 mapping threads.
+  const auto g = graph::stencil_2d(5, 6, 1000.0);  // 30 tasks
+  const auto base = make_topology("torus:6x6");
+  const auto strategy = core::make_strategy("topolb");
+  FaultOverlay healthy(base);
+  Rng seed_rng(7);
+  const core::Mapping previous =
+      core::map_on_alive(*strategy, g, healthy, seed_rng);
+
+  auto overlay = std::make_shared<FaultOverlay>(base);
+  overlay->fail_node(previous[4]);
+  overlay->fail_node(previous[17]);
+  overlay->degrade_link(0, 1, 0.5);
+
+  support::set_num_threads(1);
+  Rng rng1(3);
+  const EvacuateComparison c1 =
+      compare_evacuate_vs_remap(g, *overlay, previous, *strategy, rng1, 1);
+  support::set_num_threads(4);
+  Rng rng4(3);
+  const EvacuateComparison c4 =
+      compare_evacuate_vs_remap(g, *overlay, previous, *strategy, rng4, 1);
+  support::set_num_threads(1);
+
+  EXPECT_EQ(c1.evac.mapping, c4.evac.mapping);
+  EXPECT_EQ(c1.evac.stranded, c4.evac.stranded);
+  EXPECT_EQ(c1.evac.migrations, c4.evac.migrations);
+  EXPECT_EQ(c1.evac.refine_swaps, c4.evac.refine_swaps);
+  EXPECT_EQ(c1.evac.hop_bytes, c4.evac.hop_bytes);
+  EXPECT_EQ(c1.full_mapping, c4.full_mapping);
+  EXPECT_EQ(c1.full_migrations, c4.full_migrations);
+  EXPECT_EQ(c1.full_hop_bytes, c4.full_hop_bytes);
+}
+
+}  // namespace
+}  // namespace topomap::rts

@@ -1,0 +1,122 @@
+// CLI fault/degrade flag family: strict parsing and overlay construction
+// (topo/fault_spec.hpp — the library behind topomap's --fail-link /
+// --fail-node / --degrade-link / --random-* options).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "support/error.hpp"
+#include "topo/factory.hpp"
+#include "topo/fault_spec.hpp"
+
+namespace topomap::topo {
+namespace {
+
+FaultSpec parse(const std::string& fail_links, const std::string& fail_nodes,
+                const std::string& degrades) {
+  return parse_fault_spec(fail_links, fail_nodes, degrades, 0, 0, 0, 42);
+}
+
+TEST(FaultSpecParse, AcceptsTheFullFlagFamily) {
+  const FaultSpec spec =
+      parse_fault_spec("0:1,4:5", "7,9", "2:3:0.5,10:11:0.25", 2, 1, 3, 99);
+  ASSERT_EQ(spec.fail_links.size(), 2u);
+  EXPECT_EQ(spec.fail_links[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(spec.fail_links[1], (std::pair<int, int>{4, 5}));
+  ASSERT_EQ(spec.fail_nodes.size(), 2u);
+  EXPECT_EQ(spec.fail_nodes[1], 9);
+  ASSERT_EQ(spec.degrades.size(), 2u);
+  EXPECT_EQ(spec.degrades[0].a, 2);
+  EXPECT_EQ(spec.degrades[0].b, 3);
+  EXPECT_DOUBLE_EQ(spec.degrades[0].health, 0.5);
+  EXPECT_DOUBLE_EQ(spec.degrades[1].health, 0.25);
+  EXPECT_EQ(spec.random_link_faults, 2);
+  EXPECT_EQ(spec.random_node_faults, 1);
+  EXPECT_EQ(spec.random_degrades, 3);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_FALSE(spec.empty());
+  EXPECT_TRUE(parse("", "", "").empty());
+}
+
+TEST(FaultSpecParse, RejectsMalformedEntries) {
+  // Wrong field counts.
+  EXPECT_THROW(parse("0", "", ""), precondition_error);
+  EXPECT_THROW(parse("0:1:2", "", ""), precondition_error);
+  EXPECT_THROW(parse("", "", "0:1"), precondition_error);
+  EXPECT_THROW(parse("", "", "0:1:0.5:9"), precondition_error);
+  // Non-numeric fields and partially-consumed tokens ("1x" is not 1).
+  EXPECT_THROW(parse("a:1", "", ""), precondition_error);
+  EXPECT_THROW(parse("1x:2", "", ""), precondition_error);
+  EXPECT_THROW(parse("", "three", ""), precondition_error);
+  EXPECT_THROW(parse("", "", "0:1:abc"), precondition_error);
+  EXPECT_THROW(parse("", "", "0:1:0.5z"), precondition_error);
+  // Empty entries from stray commas.
+  EXPECT_THROW(parse("0:1,", "", ""), precondition_error);
+  EXPECT_THROW(parse("", ",3", ""), precondition_error);
+}
+
+TEST(FaultSpecParse, RejectsOutOfRangeHealth) {
+  EXPECT_THROW(parse("", "", "0:1:1.5"), precondition_error);
+  EXPECT_THROW(parse("", "", "0:1:-0.25"), precondition_error);
+  // The boundary values parse: 1 is a no-op degrade, 0 a hard fault.
+  EXPECT_DOUBLE_EQ(parse("", "", "0:1:1").degrades[0].health, 1.0);
+  EXPECT_DOUBLE_EQ(parse("", "", "0:1:0").degrades[0].health, 0.0);
+}
+
+TEST(FaultSpecParse, RejectsDuplicatesAndOverlaps) {
+  // The same link twice — also in reversed orientation.
+  EXPECT_THROW(parse("0:1,0:1", "", ""), precondition_error);
+  EXPECT_THROW(parse("0:1,1:0", "", ""), precondition_error);
+  EXPECT_THROW(parse("", "3,3", ""), precondition_error);
+  EXPECT_THROW(parse("", "", "0:1:0.5,1:0:0.25"), precondition_error);
+  // One link both hard-failed and degraded is contradictory.
+  EXPECT_THROW(parse("0:1", "", "1:0:0.5"), precondition_error);
+  EXPECT_THROW(parse_fault_spec("", "", "", -1, 0, 0, 42),
+               precondition_error);
+  EXPECT_THROW(parse_fault_spec("", "", "", 0, -2, 0, 42),
+               precondition_error);
+  EXPECT_THROW(parse_fault_spec("", "", "", 0, 0, -3, 42),
+               precondition_error);
+}
+
+TEST(FaultSpecBuild, AppliesExplicitAndRandomFaults) {
+  const auto base = make_topology("torus:6x6");
+  const FaultSpec spec =
+      parse_fault_spec("0:1", "20", "2:3:0.5,6:7:0", 0, 0, 4, 13);
+  const auto overlay = build_fault_overlay(base, spec);
+  ASSERT_NE(overlay, nullptr);
+  EXPECT_TRUE(overlay->link_failed(0, 1));
+  EXPECT_FALSE(overlay->is_alive(20));
+  EXPECT_DOUBLE_EQ(overlay->link_health(2, 3), 0.5);
+  // Health 0 is routed to a hard link failure, not a zero-cost entry.
+  EXPECT_TRUE(overlay->link_failed(6, 7));
+  // Random degrades land on distinct pristine links: the count is exact.
+  EXPECT_EQ(overlay->num_degraded_links(), 5);  // 2:3 plus 4 random
+  EXPECT_TRUE(overlay->has_soft_faults());
+
+  // Same seed, same machine -> byte-identical fault set (name encodes the
+  // full mutation history).
+  const auto again = build_fault_overlay(base, spec);
+  EXPECT_EQ(overlay->name(), again->name());
+
+  EXPECT_EQ(build_fault_overlay(base, FaultSpec{}), nullptr);
+}
+
+TEST(FaultSpecBuild, FatTreeRejectsLinkOperations) {
+  const auto base = make_topology("fattree:3x2");
+  // Processor-level link faults and degrades are unrepresentable on a
+  // distance-model topology; the overlay's rejection propagates.
+  EXPECT_THROW(build_fault_overlay(base, parse("0:1", "", "")),
+               precondition_error);
+  EXPECT_THROW(build_fault_overlay(base, parse("", "", "0:1:0.5")),
+               precondition_error);
+  // Node faults remain fine.
+  const auto overlay = build_fault_overlay(base, parse("", "4", ""));
+  ASSERT_NE(overlay, nullptr);
+  EXPECT_FALSE(overlay->is_alive(4));
+  EXPECT_EQ(overlay->num_alive(), 8);
+}
+
+}  // namespace
+}  // namespace topomap::topo

@@ -7,9 +7,12 @@
 //   topomap evacuate  map, inject faults, repair the placement
 //
 // map/simulate/evacuate accept fault injection: --fail-link=a:b[,c:d...],
-// --fail-node=p[,q...], and/or --random-{link,node}-faults=K drawn with
-// --fault-seed.  Mapping then targets the alive processors (tasks must fit)
-// and the simulator routes around the failed links.
+// --fail-node=p[,q...], --degrade-link=a:b:health[,...] (soft faults),
+// and/or --random-{link,node}-faults=K / --random-degrades=K drawn with
+// --fault-seed.  Mapping then targets the alive processors (tasks must fit),
+// avoids degraded links via the health-weighted distance plane, and the
+// simulator both routes around failed links and serialises proportionally
+// slower on degraded ones.
 //
 // Workload specs: graph::make_task_graph (stencil2d:16x16, md:8x6x5,
 // er:100:0.05, file:path, ...).  Machine specs: topo::make_topology
@@ -33,6 +36,7 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "topo/factory.hpp"
+#include "topo/fault_spec.hpp"
 
 namespace {
 
@@ -41,85 +45,34 @@ using namespace topomap;
 void add_fault_options(CliParser& cli) {
   cli.add_option("fail-link", "failed links a:b[,c:d...]", "");
   cli.add_option("fail-node", "failed processors p[,q...]", "");
+  cli.add_option("degrade-link",
+                 "degraded links a:b:health[,...], health in (0,1]", "");
   cli.add_option("random-link-faults", "additional random link failures", "0");
   cli.add_option("random-node-faults", "additional random node failures", "0");
+  cli.add_option("random-degrades", "additional random link degradations",
+                 "0");
   cli.add_option("fault-seed", "RNG seed for random fault selection", "42");
 }
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t end = s.find(sep, start);
-    if (end == std::string::npos) {
-      out.push_back(s.substr(start));
-      break;
-    }
-    out.push_back(s.substr(start, end - start));
-    start = end + 1;
-  }
-  return out;
-}
-
 /// Build the fault overlay described by the fault options, or null when no
-/// fault was requested.  Random faults are drawn from a dedicated rng so
-/// the mapping seed's stream is unaffected.
+/// fault was requested (topo::parse_fault_spec/build_fault_overlay do the
+/// real work and are unit-tested directly).
 std::shared_ptr<topo::FaultOverlay> make_fault_overlay(
     const CliParser& cli, const topo::TopologyPtr& base) {
-  const std::string links = cli.str("fail-link");
-  const std::string nodes = cli.str("fail-node");
-  const int rand_links = static_cast<int>(cli.integer("random-link-faults"));
-  const int rand_nodes = static_cast<int>(cli.integer("random-node-faults"));
-  if (links.empty() && nodes.empty() && rand_links == 0 && rand_nodes == 0)
-    return nullptr;
-
-  auto overlay = std::make_shared<topo::FaultOverlay>(base);
-  if (!links.empty()) {
-    for (const std::string& pair : split(links, ',')) {
-      const auto ends = split(pair, ':');
-      if (ends.size() != 2)
-        throw precondition_error("--fail-link entries must look like a:b, got " +
-                                 pair);
-      overlay->fail_link(std::stoi(ends[0]), std::stoi(ends[1]));
-    }
-  }
-  if (!nodes.empty())
-    for (const std::string& node : split(nodes, ','))
-      overlay->fail_node(std::stoi(node));
-
-  Rng fault_rng(static_cast<std::uint64_t>(cli.integer("fault-seed")));
-  const int p = base->size();
-  for (int k = 0; k < rand_nodes; ++k) {
-    // Draw until an alive processor comes up (kills are idempotent, so a
-    // bounded retry keeps the fault count exact).
-    for (int tries = 0; tries < 64 * p; ++tries) {
-      const int cand =
-          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
-      if (!overlay->is_alive(cand)) continue;
-      overlay->fail_node(cand);
-      break;
-    }
-  }
-  for (int k = 0; k < rand_links; ++k) {
-    for (int tries = 0; tries < 64 * p; ++tries) {
-      const int a =
-          static_cast<int>(fault_rng.uniform(static_cast<std::uint64_t>(p)));
-      if (!overlay->is_alive(a)) continue;
-      const auto nb = overlay->neighbors(a);
-      if (nb.empty()) continue;
-      const int b = nb[static_cast<std::size_t>(
-          fault_rng.uniform(static_cast<std::uint64_t>(nb.size())))];
-      overlay->fail_link(a, b);
-      break;
-    }
-  }
-  return overlay;
+  const topo::FaultSpec spec = topo::parse_fault_spec(
+      cli.str("fail-link"), cli.str("fail-node"), cli.str("degrade-link"),
+      cli.integer("random-link-faults"), cli.integer("random-node-faults"),
+      cli.integer("random-degrades"),
+      static_cast<std::uint64_t>(cli.integer("fault-seed")));
+  return topo::build_fault_overlay(base, spec);
 }
 
 void print_fault_summary(const topo::FaultOverlay& overlay) {
   std::cout << "faults:         " << overlay.num_failed_nodes() << " nodes, "
-            << overlay.num_failed_links() << " links (" << overlay.num_alive()
-            << "/" << overlay.size() << " processors alive)\n";
+            << overlay.num_failed_links() << " links, "
+            << overlay.num_degraded_links() << " degraded ("
+            << overlay.num_alive() << "/" << overlay.size()
+            << " processors alive)\n";
 }
 
 void print_mapping_report(const graph::TaskGraph& g,
@@ -309,8 +262,8 @@ int cmd_evacuate(int argc, const char* const* argv) {
   const auto topo = topo::make_topology(cli.str("topology"));
   auto overlay = make_fault_overlay(cli, topo);
   if (!overlay) {
-    std::cerr << "error: evacuate needs at least one fault "
-                 "(--fail-link/--fail-node/--random-*-faults)\n";
+    std::cerr << "error: evacuate needs at least one fault (--fail-link/"
+                 "--fail-node/--degrade-link/--random-*)\n";
     return 1;
   }
 
