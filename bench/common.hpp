@@ -1,17 +1,26 @@
 // Shared helpers for the experiment harnesses (one binary per paper
 // table/figure).  Each harness prints an aligned table with the same
-// rows/series the paper reports and mirrors it to bench_results/<name>.csv.
+// rows/series the paper reports and mirrors it to bench_results/<name>.csv
+// plus a machine-readable obs::Report at bench_results/<name>.json — the
+// JSON carries the table and, in instrumented builds (-DTOPOMAP_OBS=ON)
+// with recording on (TOPOMAP_OBS=1), every counter/span the run recorded.
 #pragma once
 
 #include <chrono>
+#include <exception>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/strategy.hpp"
+#include "obs/report.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace topomap::bench {
@@ -31,13 +40,15 @@ inline double mean_hops_per_byte(const core::MappingStrategy& strategy,
                                  const graph::TaskGraph& g,
                                  const topo::Topology& topo, Rng& rng,
                                  int repeats) {
-  double total = 0.0;
+  Distribution d;
   for (int r = 0; r < repeats; ++r)
-    total += core::hops_per_byte(g, topo, strategy.map(g, topo, rng));
-  return total / static_cast<double>(repeats);
+    d.add(core::hops_per_byte(g, topo, strategy.map(g, topo, rng)));
+  return d.mean();
 }
 
-/// Print the table and mirror it to bench_results/<csv_name>.csv.
+/// Print the table and mirror it to bench_results/<csv_name>.csv and, as an
+/// obs::Report with the table plus any recorded counters/spans, to
+/// bench_results/<csv_name>.json.
 inline void emit(const Table& table, const std::string& csv_name) {
   table.print(std::cout);
   std::error_code ec;
@@ -47,6 +58,28 @@ inline void emit(const Table& table, const std::string& csv_name) {
     std::cout << "(csv: " << path << ")\n";
   else
     std::cout << "(warning: could not write " << path << ")\n";
+
+  obs::Report report;
+  report.set_meta("bench", csv_name);
+  std::vector<std::vector<obs::json::Value>> rows;
+  rows.reserve(table.rows().size());
+  for (const auto& row : table.rows()) {
+    std::vector<obs::json::Value> cells;
+    cells.reserve(row.size());
+    for (const TableCell& cell : row)
+      cells.push_back(std::visit(
+          [](const auto& v) { return obs::json::Value(v); }, cell));
+    rows.push_back(std::move(cells));
+  }
+  report.add_table(csv_name, table.columns(), std::move(rows));
+  report.capture();
+  const std::string json_path = "bench_results/" + csv_name + ".json";
+  try {
+    report.write_file(json_path);
+    std::cout << "(json: " << json_path << ")\n";
+  } catch (const std::exception&) {
+    std::cout << "(warning: could not write " << json_path << ")\n";
+  }
 }
 
 /// Common preamble: print the experiment header and the seed.

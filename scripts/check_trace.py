@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable obs:: artifacts.
+
+Usage:
+    scripts/check_trace.py --trace trace.json      # Chrome-trace array
+    scripts/check_trace.py --stats stats.json      # obs::Report document
+    scripts/check_trace.py --stats stats.json --require-series NAME
+    scripts/check_trace.py --stats stats.json --require-counter NAME
+
+A trace must be a JSON array of complete events: every entry needs a string
+"name", "ph" == "X", numeric "ts"/"dur" >= 0, and "pid"/"tid".  A stats
+file must carry the versioned report schema ("topomap.obs.report", version
+1) with object-valued counters/distributions/series/spans sections.
+--require-series additionally asserts the named series exists, is
+non-empty, and is monotone non-decreasing (the shape of TopoLB's hop-bytes
+trajectory); --require-counter asserts the named counter exists and is a
+positive integer.  Exit 0 on success, 1 on validation failure, 2 on usage
+or I/O errors.  Stdlib only — no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "topomap.obs.report"
+SCHEMA_VERSION = 1
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: error reading {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_trace(path: str) -> None:
+    doc = load(path)
+    if not isinstance(doc, list):
+        fail(f"{path}: trace must be a JSON array of events")
+    for i, event in enumerate(doc):
+        if not isinstance(event, dict):
+            fail(f"{path}: event {i} is not an object")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            fail(f"{path}: event {i} missing string 'name'")
+        if event.get("ph") != "X":
+            fail(f"{path}: event {i} has ph={event.get('ph')!r}, want 'X'")
+        for key in ("ts", "dur"):
+            v = event.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{path}: event {i} has bad {key}={v!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                fail(f"{path}: event {i} missing integer '{key}'")
+    print(f"check_trace: OK: {path} ({len(doc)} complete events)")
+
+
+def check_stats(path: str, require_series, require_counters) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: report must be a JSON object")
+    if doc.get("schema") != SCHEMA_NAME:
+        fail(f"{path}: schema={doc.get('schema')!r}, want {SCHEMA_NAME!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{path}: schema_version={doc.get('schema_version')!r}, "
+             f"want {SCHEMA_VERSION}")
+    for section in ("meta", "counters", "distributions", "series", "spans"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: section '{section}' missing or not an object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(f"{path}: counter {name} has bad value {value!r}")
+    for name, d in doc["distributions"].items():
+        for key in ("count", "sum", "min", "max", "mean"):
+            if not isinstance(d.get(key), (int, float)):
+                fail(f"{path}: distribution {name} missing '{key}'")
+    for name in require_series:
+        series = doc["series"].get(name)
+        if not isinstance(series, list) or not series:
+            fail(f"{path}: required series '{name}' missing or empty")
+        if any(b < a - 1e-9 for a, b in zip(series, series[1:])):
+            fail(f"{path}: series '{name}' is not monotone non-decreasing")
+        print(f"check_trace: series '{name}': {len(series)} points, "
+              f"final {series[-1]}")
+    for name in require_counters:
+        value = doc["counters"].get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"{path}: required counter '{name}' missing or non-positive "
+                 f"({value!r})")
+        print(f"check_trace: counter '{name}' = {value}")
+    print(f"check_trace: OK: {path} ({len(doc['counters'])} counters, "
+          f"{len(doc['spans'])} span rollups, {len(doc['series'])} series)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
+    parser.add_argument("--stats", help="obs::Report JSON file to validate")
+    parser.add_argument("--require-series", action="append", default=[],
+                        metavar="NAME",
+                        help="assert this series exists in --stats and is "
+                             "monotone non-decreasing")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="assert this counter exists in --stats and is "
+                             "positive")
+    args = parser.parse_args()
+    if not args.trace and not args.stats:
+        parser.error("give --trace and/or --stats")
+    if (args.require_series or args.require_counter) and not args.stats:
+        parser.error("--require-series/--require-counter need --stats")
+    if args.trace:
+        check_trace(args.trace)
+    if args.stats:
+        check_stats(args.stats, args.require_series, args.require_counter)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,27 @@ cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci-release -j "$JOBS"
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
 
+echo "=== obs (-DTOPOMAP_OBS=ON): unit slice + artifact validation ==="
+cmake -B build-ci-obs -S . -DCMAKE_BUILD_TYPE=Release -DTOPOMAP_OBS=ON \
+  >/dev/null
+cmake --build build-ci-obs -j "$JOBS"
+ctest --test-dir build-ci-obs --output-on-failure -j "$JOBS" -L unit
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+# One traced mapping; the artifacts must validate and the mapping must be
+# byte-identical to the uninstrumented release build's.
+build-ci-obs/tools/topomap map --strategy=topolb --tasks=stencil2d:16x16 \
+  --topology=torus:16x16 --seed=7 --output="$OBS_TMP/obs.map" \
+  --trace="$OBS_TMP/trace.json" --stats="$OBS_TMP/stats.json" >/dev/null
+python3 scripts/check_trace.py --trace "$OBS_TMP/trace.json" \
+  --stats "$OBS_TMP/stats.json" \
+  --require-series topolb/hop_bytes_trajectory \
+  --require-counter topolb/placements --require-counter distcache/builds
+build-ci-release/tools/topomap map --strategy=topolb --tasks=stencil2d:16x16 \
+  --topology=torus:16x16 --seed=7 --output="$OBS_TMP/plain.map" >/dev/null
+diff "$OBS_TMP/plain.map" "$OBS_TMP/obs.map"
+echo "obs slice ok: artifacts validate, mapping identical to release build"
+
 echo "=== sanitize (ASan/UBSan): labeled slices ==="
 cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
 cmake --build build-ci-sanitize -j "$JOBS"

@@ -89,4 +89,27 @@ if ! diff -q "$TMP/plain.map" "$TMP/healthy.map" >/dev/null; then
 fi
 echo "ok: soft faults        --degrade-link engages, health 1.0 is a no-op"
 
+# Observability: an instrumented build (-DTOPOMAP_OBS=ON, CLI target only —
+# the rest of the suite already built above) must emit a schema-valid
+# --stats report whose hop-bytes trajectory is monotone and whose counters
+# fired, a parseable Chrome trace, and a mapping byte-identical to the
+# uninstrumented build's (telemetry only observes).
+OBS_DIR="${BUILD_DIR}-obs"
+cmake -B "$OBS_DIR" -S . -DTOPOMAP_OBS=ON -DTOPOMAP_SANITIZE="$SANITIZE" \
+  >/dev/null
+cmake --build "$OBS_DIR" -j "$(nproc)" --target topomap_cli
+OBS_CLI="$OBS_DIR/tools/topomap"
+"$OBS_CLI" map --strategy=topolb --tasks=stencil2d:8x8 --topology=torus:8x8 \
+  --seed=7 --output="$TMP/obs.map" --stats="$TMP/stats.json" \
+  --trace="$TMP/trace.json" >/dev/null
+python3 scripts/check_trace.py --trace "$TMP/trace.json" \
+  --stats "$TMP/stats.json" --require-series topolb/hop_bytes_trajectory \
+  --require-counter topolb/placements
+if ! diff -q "$TMP/plain.map" "$TMP/obs.map" >/dev/null; then
+  echo "FAIL: the instrumented build changed the mapping" >&2
+  diff "$TMP/plain.map" "$TMP/obs.map" >&2 || true
+  exit 1
+fi
+echo "ok: observability      --stats/--trace validate, mapping unchanged"
+
 echo "smoke test passed"

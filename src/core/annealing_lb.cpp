@@ -6,6 +6,7 @@
 #include "core/cache_handle.hpp"
 #include "core/metrics.hpp"
 #include "core/swap_kernel.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "topo/distance_cache.hpp"
 
@@ -39,6 +40,10 @@ Mapping run_chain(const graph::TaskGraph& g, const Dist& dist,
 
   const auto moves =
       static_cast<int>(options.moves_per_task * static_cast<double>(n));
+  OBS_SPAN("anneal/chain");
+  OBS_COUNTER_ADD("anneal/moves",
+                  static_cast<std::uint64_t>(moves) *
+                      static_cast<std::uint64_t>(options.epochs));
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     for (int move = 0; move < moves; ++move) {
       const int a =
@@ -50,6 +55,7 @@ Mapping run_chain(const graph::TaskGraph& g, const Dist& dist,
           delta < 0.0 ||
           rng.uniform_double() < std::exp(-delta / temperature);
       if (accept) {
+        OBS_COUNTER_ADD("anneal/accepts", 1);
         std::swap(current[static_cast<std::size_t>(a)],
                   current[static_cast<std::size_t>(b)]);
         energy += delta;

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "topo/distance_cache.hpp"
 #include "topo/topology.hpp"
 
@@ -30,7 +31,11 @@ class CacheHandle {
   std::shared_ptr<const topo::DistanceCache> get(const topo::Topology& topo) {
     std::lock_guard<std::mutex> lock(mu_);
     std::string name = topo.name();
-    if (cache_ && key_ == &topo && key_name_ == name) return cache_;
+    if (cache_ && key_ == &topo && key_name_ == name) {
+      OBS_COUNTER_ADD("distcache/handle_hits", 1);
+      return cache_;
+    }
+    OBS_COUNTER_ADD("distcache/handle_misses", 1);
     cache_ = std::make_shared<const topo::DistanceCache>(topo);
     key_ = &topo;
     key_name_ = std::move(name);

@@ -8,6 +8,7 @@
 #include "core/distance_provider.hpp"
 #include "core/metrics.hpp"
 #include "core/swap_kernel.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "topo/distance_cache.hpp"
@@ -68,6 +69,7 @@ bool sweep_once(const graph::TaskGraph& g, const Dist& dist, Mapping& m,
     for (int r = a; r < hi; ++r)
       for (int b = r + 1; b < n; ++b) pairs.push_back({r, b});
     deltas.assign(pairs.size(), 0.0);
+    OBS_COUNTER_ADD("refine/swap_attempts", pairs.size());
     evaluate(0, static_cast<int>(pairs.size()));
 
     bool block_swapped = false;
@@ -77,6 +79,7 @@ bool sweep_once(const graph::TaskGraph& g, const Dist& dist, Mapping& m,
       std::swap(m[static_cast<std::size_t>(pr.a)],
                 m[static_cast<std::size_t>(pr.b)]);
       ++*swaps;
+      OBS_COUNTER_ADD("refine/swap_accepts", 1);
       improved = true;
       block_swapped = true;
       evaluate(i + 1, static_cast<int>(pairs.size()));
@@ -90,6 +93,7 @@ bool sweep_once(const graph::TaskGraph& g, const Dist& dist, Mapping& m,
 template <class Dist>
 RefineResult run_refine(const graph::TaskGraph& g, const Dist& dist,
                         double hb_before, const Mapping& m, int max_passes) {
+  OBS_SPAN("refine/run");
   RefineResult result;
   result.mapping = m;
   result.hop_bytes_before = hb_before;

@@ -6,6 +6,7 @@
 
 #include "core/cache_handle.hpp"
 #include "core/distance_provider.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "topo/distance_cache.hpp"
@@ -21,6 +22,8 @@ Mapping run_topocent(const graph::TaskGraph& g, const Dist& dist) {
   const int n = g.num_vertices();
   Mapping m(static_cast<std::size_t>(n), kUnassigned);
   if (n == 0) return m;
+  OBS_SPAN("topocent/map");
+  OBS_COUNTER_ADD("topocent/placements", n);
 
   std::vector<char> task_placed(static_cast<std::size_t>(n), 0);
   std::vector<char> proc_used(static_cast<std::size_t>(n), 0);

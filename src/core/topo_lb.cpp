@@ -8,6 +8,7 @@
 
 #include "core/cache_handle.hpp"
 #include "core/distance_provider.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "topo/distance_cache.hpp"
@@ -137,6 +138,8 @@ struct TopoLBState {
   /// predictable comparison per element.
   void rescan_row(int t) {
     const int nf = static_cast<int>(free_procs.size());
+    OBS_COUNTER_ADD("topolb/row_rescans", 1);
+    OBS_COUNTER_ADD("topolb/f_est_evals", nf);
     const double* arow =
         assigned_cost.data() +
         static_cast<std::size_t>(t) * static_cast<std::size_t>(n);
@@ -297,6 +300,19 @@ struct TopoLBState {
 
   /// Commit task -> proc and update every cached quantity.
   void place(int task, int proc) {
+    // Trajectory of the objective: edges close when their second endpoint
+    // lands, so the running sum of just-closed incident edges equals the
+    // final mapping's hop-bytes after the last placement.
+    OBS_ONLY(if (::topomap::obs::enabled()) {
+      const auto drow_obs = dist.row(proc);
+      for (const graph::Edge& e : g.edges_of(task)) {
+        if (!task_placed[static_cast<std::size_t>(e.neighbor)]) continue;
+        obs_hop_bytes +=
+            e.bytes * static_cast<double>(drow_obs[static_cast<std::size_t>(
+                          mapping[static_cast<std::size_t>(e.neighbor)])]);
+      }
+      OBS_SERIES_APPEND("topolb/hop_bytes_trajectory", obs_hop_bytes);
+    })
     mapping[static_cast<std::size_t>(task)] = proc;
     task_placed[static_cast<std::size_t>(task)] = 1;
     unplaced.erase(
@@ -437,6 +453,7 @@ struct TopoLBState {
   std::vector<std::pair<double, int>> m_order;  // passive landscape, ascending
   int m_head = 0;            // first still-free entry of m_order
   double sum_m_free = 0.0;   // sum of m_order values over free processors
+  double obs_hop_bytes = 0.0;  // instrumentation-only running objective
   Mapping mapping;
 };
 
@@ -444,18 +461,25 @@ template <class Dist>
 Mapping run_topolb(const graph::TaskGraph& g, const Dist& dist,
                    EstimationOrder order) {
   const int n = g.num_vertices();
+  OBS_SPAN("topolb/map");
   TopoLBState<Dist> st(g, dist, order);
   for (int cycle = 0; cycle < n; ++cycle) {
     if (order == EstimationOrder::kThird && cycle > 0) {
       // Free-set averages moved last cycle; refresh every row (O(p^2)).
       st.rescan_all_rows();
     }
-    const int task = st.select_task();
+    int task;
+    {
+      OBS_SPAN("topolb/select_task");
+      task = st.select_task();
+    }
     TOPOMAP_ASSERT(task >= 0, "no task selected");
     const int proc = st.argmin_proc(task);
     TOPOMAP_ASSERT(proc >= 0, "no free processor for selected task");
+    OBS_SPAN("topolb/place");
     st.place(task, proc);
   }
+  OBS_COUNTER_ADD("topolb/placements", n);
   return st.mapping;
 }
 

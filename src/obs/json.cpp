@@ -1,0 +1,343 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace topomap::obs::json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;  // parser recursion bound
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw precondition_error("json: " + what + " at byte " +
+                             std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // Encode the code point as UTF-8.  Surrogate pairs are passed
+          // through as two 3-byte sequences — obs never emits them, and
+          // faithfully re-encoding lone surrogates keeps the parser total.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    auto digits = [&] {
+      bool any = false;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+        ++pos;
+        any = true;
+      }
+      return any;
+    };
+    if (!digits()) fail("malformed number");
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) fail("malformed number fraction");
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) fail("malformed number exponent");
+    }
+    // The slice is a valid JSON number grammar-wise; strtod accepts a
+    // superset, so this cannot fail to consume the whole slice.
+    const std::string slice(text.substr(start, pos - start));
+    return std::strtod(slice.c_str(), nullptr);
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Value v = Value::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.set(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Value v = Value::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      for (;;) {
+        v.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value();
+    if (c == '-' || (c >= '0' && c <= '9')) return Value(parse_number());
+    fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+std::string format_number(double d) {
+  TOPOMAP_REQUIRE(std::isfinite(d), "json numbers must be finite");
+  // Integral values inside the exact double range print without a fraction
+  // so counters stay readable and diffs stay clean.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  // Shortest round-trip: try increasing precision until parse-back is exact.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+bool Value::as_bool() const {
+  TOPOMAP_REQUIRE(kind_ == Kind::kBool, "json value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  TOPOMAP_REQUIRE(kind_ == Kind::kNumber, "json value is not a number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  TOPOMAP_REQUIRE(kind_ == Kind::kString, "json value is not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  TOPOMAP_REQUIRE(kind_ == Kind::kArray, "json value is not an array");
+  return arr_;
+}
+
+const Members& Value::members() const {
+  TOPOMAP_REQUIRE(kind_ == Kind::kObject, "json value is not an object");
+  return obj_;
+}
+
+void Value::push_back(Value v) {
+  TOPOMAP_REQUIRE(kind_ == Kind::kArray, "push_back on a non-array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  TOPOMAP_REQUIRE(false, "size() on a non-container json value");
+  return 0;
+}
+
+void Value::set(std::string key, Value v) {
+  TOPOMAP_REQUIRE(kind_ == Kind::kObject, "set on a non-object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  TOPOMAP_REQUIRE(kind_ == Kind::kObject, "find on a non-object");
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  TOPOMAP_REQUIRE(v != nullptr, "missing json key: " + std::string(key));
+  return *v;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += format_number(num_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += pretty ? "," : ",";
+        newline_pad(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ",";
+        newline_pad(depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += pretty ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Value Value::parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parse_value(0);
+  p.skip_ws();
+  TOPOMAP_REQUIRE(p.pos == text.size(),
+                  "json: trailing garbage at byte " + std::to_string(p.pos));
+  return v;
+}
+
+}  // namespace topomap::obs::json

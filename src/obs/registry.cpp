@@ -1,0 +1,191 @@
+#include "obs/registry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace topomap::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("TOPOMAP_OBS");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}()};
+
+/// Process-local steady epoch, captured on first use.
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Transparent comparator so string_view lookups never allocate on the
+// found path.
+using CounterMap = std::map<std::string, std::uint64_t, std::less<>>;
+using DistMap = std::map<std::string, Distribution, std::less<>>;
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+/// One thread's private slice of the registry.  The owning thread records
+/// under mu without contention; snapshots lock the same mutex briefly.
+struct Registry::Shard {
+  std::mutex mu;
+  CounterMap counters;
+  DistMap dists;
+};
+
+struct Registry::Impl {
+  std::mutex mu;  // guards shards list, retired aggregates, and series
+  std::vector<Shard*> shards;
+  CounterMap retired_counters;
+  DistMap retired_dists;
+  std::map<std::string, std::vector<double>, std::less<>> series;
+};
+
+namespace {
+
+/// Ties a shard to its thread: registered on first record, retired (merged
+/// into the registry and freed) when the thread exits — worker pools are
+/// resized by set_num_threads(), so shards genuinely come and go.
+struct ShardHandle {
+  Registry::Shard* shard = nullptr;
+  ~ShardHandle();
+};
+
+thread_local ShardHandle t_shard;
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: outlives thread dtors
+  return *r;
+}
+
+Registry::Impl* Registry::impl() {
+  static Impl* i = new Impl();
+  return i;
+}
+
+Registry::Shard& Registry::local_shard() {
+  if (t_shard.shard == nullptr) {
+    auto* shard = new Shard();
+    {
+      std::lock_guard<std::mutex> lock(impl()->mu);
+      impl()->shards.push_back(shard);
+    }
+    t_shard.shard = shard;
+  }
+  return *t_shard.shard;
+}
+
+void Registry::retire_shard(Shard* shard) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, v] : shard->counters)
+      im->retired_counters[name] += v;
+    for (const auto& [name, d] : shard->dists) im->retired_dists[name].merge(d);
+  }
+  std::erase(im->shards, shard);
+  delete shard;
+}
+
+namespace {
+ShardHandle::~ShardHandle() {
+  if (shard != nullptr) Registry::instance().retire_shard(shard);
+}
+}  // namespace
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.counters.find(name);
+  if (it != s.counters.end())
+    it->second += delta;
+  else
+    s.counters.emplace(std::string(name), delta);
+}
+
+void Registry::record(std::string_view name, double value) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.dists.find(name);
+  if (it != s.dists.end())
+    it->second.add(value);
+  else
+    s.dists.emplace(std::string(name), Distribution{}).first->second.add(value);
+}
+
+void Registry::append_series(std::string_view name, double value) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  const auto it = im->series.find(name);
+  if (it != im->series.end())
+    it->second.push_back(value);
+  else
+    im->series.emplace(std::string(name), std::vector<double>{value});
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  Impl* im = const_cast<Registry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::map<std::string, std::uint64_t> out(im->retired_counters.begin(),
+                                           im->retired_counters.end());
+  for (Shard* shard : im->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, v] : shard->counters) out[name] += v;
+  }
+  return out;
+}
+
+std::map<std::string, Distribution> Registry::distributions() const {
+  Impl* im = const_cast<Registry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::map<std::string, Distribution> out(im->retired_dists.begin(),
+                                          im->retired_dists.end());
+  for (Shard* shard : im->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, d] : shard->dists) out[name].merge(d);
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<double>> Registry::series() const {
+  Impl* im = const_cast<Registry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  return {im->series.begin(), im->series.end()};
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto all = counters();
+  const auto it = all.find(std::string(name));
+  return it == all.end() ? 0 : it->second;
+}
+
+void Registry::reset() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  im->retired_counters.clear();
+  im->retired_dists.clear();
+  im->series.clear();
+  for (Shard* shard : im->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.clear();
+    shard->dists.clear();
+  }
+}
+
+}  // namespace topomap::obs

@@ -1,0 +1,91 @@
+// obs::Registry — named monotonic counters, value distributions, and
+// ordered numeric series for the whole stack.
+//
+// Instrumentation sites (mapping kernels, DistanceCache repairs, the
+// network simulator, the runtime drivers) record through the OBS_* macros
+// in obs/obs.hpp.  The macros compile to nothing unless the build sets
+// TOPOMAP_OBS=ON, and when compiled in they are guarded by one relaxed
+// atomic-bool load (obs::enabled()), so the disabled path never perturbs
+// the hot loops.  Recording only *observes* — no instrumented kernel reads
+// anything back from the registry — so enabling telemetry can never change
+// a mapping result or break support::parallel's byte-identity contract.
+//
+// Concurrency & determinism: counters and distributions are recorded into
+// *thread-local shards* (one uncontended mutex lock per record; the mutex
+// exists only so snapshots can read a live shard safely).  A snapshot
+// merges every shard per name into one sorted map.  Counter sums are
+// integers, and distribution merges are count/sum/min/max, so the merged
+// snapshot is independent of which worker thread happened to run which
+// parallel_for chunk: the same run records the same multiset of values per
+// name no matter the thread count, and the merge is order-free for every
+// field except FP sums — which instrumentation keeps integral-valued for
+// exactly this reason (tests/test_obs.cpp asserts snapshot equality across
+// 1/2/8-thread pools).  Worker threads destroyed by set_num_threads()
+// retire their shard into the registry on exit, so no sample is ever lost.
+//
+// Series (ordered trajectories, e.g. TopoLB's per-iteration hop-bytes) are
+// append-only and must be fed from one thread at a time per name — true of
+// every current site, which all append from the sequential driver loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace topomap::obs {
+
+/// Runtime switch.  Starts true iff the TOPOMAP_OBS environment variable is
+/// set to a value other than "0"/"" — so an instrumented build records
+/// nothing until a CLI flag, a bench hook, or the environment asks for it.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds from a process-local steady_clock epoch.  All span
+/// timestamps and ad-hoc timings share this base.
+std::uint64_t now_ns();
+
+class Registry {
+ public:
+  /// The process-wide registry.  Deliberately leaked so worker-thread
+  /// shard destructors can retire into it at any point of shutdown.
+  static Registry& instance();
+
+  // --- recording (any thread) ---
+  void add(std::string_view name, std::uint64_t delta);
+  void record(std::string_view name, double value);
+
+  // --- recording (one thread per name) ---
+  void append_series(std::string_view name, double value);
+
+  // --- snapshots (any thread; merge all shards) ---
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, Distribution> distributions() const;
+  std::map<std::string, std::vector<double>> series() const;
+
+  /// Single counter value, 0 when never touched.  Snapshot-priced; for
+  /// tests and tools, not hot paths.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Drop every counter, distribution, and series (all shards included).
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Internal (public only for the thread-exit hook in registry.cpp).
+  struct Shard;
+  void retire_shard(Shard* shard);
+
+ private:
+  Registry() = default;
+  Shard& local_shard();
+
+  struct Impl;
+  Impl* impl();  // lazily built; storage lives in registry.cpp
+};
+
+}  // namespace topomap::obs

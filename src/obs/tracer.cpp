@@ -1,0 +1,175 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace topomap::obs {
+
+struct Tracer::Buffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<SpanRecord> spans;
+};
+
+struct Tracer::Impl {
+  std::mutex mu;
+  std::vector<Buffer*> buffers;
+  std::vector<SpanRecord> retired;
+  int next_tid = 0;
+};
+
+namespace {
+
+struct BufferHandle {
+  Tracer::Buffer* buffer = nullptr;
+  ~BufferHandle();
+};
+
+thread_local BufferHandle t_buffer;
+thread_local int t_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked: outlives thread dtors
+  return *t;
+}
+
+Tracer::Impl* Tracer::impl() {
+  static Impl* i = new Impl();
+  return i;
+}
+
+int& Tracer::thread_depth() { return t_depth; }
+
+Tracer::Buffer& Tracer::local_buffer() {
+  if (t_buffer.buffer == nullptr) {
+    auto* buffer = new Buffer();
+    {
+      std::lock_guard<std::mutex> lock(impl()->mu);
+      buffer->tid = impl()->next_tid++;
+      impl()->buffers.push_back(buffer);
+    }
+    t_buffer.buffer = buffer;
+  }
+  return *t_buffer.buffer;
+}
+
+void Tracer::retire_buffer(Buffer* buffer) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    im->retired.insert(im->retired.end(), buffer->spans.begin(),
+                       buffer->spans.end());
+  }
+  std::erase(im->buffers, buffer);
+  delete buffer;
+}
+
+namespace {
+BufferHandle::~BufferHandle() {
+  if (buffer != nullptr) Tracer::instance().retire_buffer(buffer);
+}
+}  // namespace
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, int depth) {
+  Buffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.spans.push_back(SpanRecord{name, start_ns, dur_ns, depth, b.tid});
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  Impl* im = const_cast<Tracer*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::vector<SpanRecord> out = im->retired;
+  for (Buffer* buffer : im->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.depth < b.depth;
+                   });
+  return out;
+}
+
+std::map<std::string, Distribution> Tracer::rollup() const {
+  std::map<std::string, Distribution> out;
+  for (const SpanRecord& s : spans())
+    out[s.name].add(static_cast<double>(s.dur_ns) / 1000.0);
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  json::Value events = json::Value::array();
+  for (const SpanRecord& s : spans()) {
+    json::Value e = json::Value::object();
+    e.set("name", s.name);
+    e.set("ph", "X");
+    e.set("ts", static_cast<double>(s.start_ns) / 1000.0);
+    e.set("dur", static_cast<double>(s.dur_ns) / 1000.0);
+    e.set("pid", 1);
+    e.set("tid", s.tid);
+    events.push_back(std::move(e));
+  }
+  os << events.dump() << "\n";
+}
+
+std::string Tracer::summary() const {
+  const auto roll = rollup();
+  std::size_t name_width = 4;  // "span"
+  for (const auto& [name, dist] : roll)
+    name_width = std::max(name_width, name.size());
+  std::ostringstream os;
+  os << "span";
+  os << std::string(name_width - 4, ' ')
+     << "  count   total_ms    mean_us     min_us     max_us\n";
+  for (const auto& [name, dist] : roll) {
+    os << name << std::string(name_width - name.size(), ' ');
+    auto cell = [&](const std::string& s, std::size_t w) {
+      os << "  " << std::string(w > s.size() ? w - s.size() : 0, ' ') << s;
+    };
+    cell(std::to_string(dist.count), 5);
+    cell(format_fixed(dist.sum / 1000.0, 3), 9);
+    cell(format_fixed(dist.mean(), 3), 9);
+    cell(format_fixed(dist.min_or_zero(), 3), 9);
+    cell(format_fixed(dist.max_or_zero(), 3), 9);
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Tracer::reset() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  im->retired.clear();
+  for (Buffer* buffer : im->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->spans.clear();
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!enabled()) return;
+  name_ = name;
+  depth_ = Tracer::thread_depth()++;
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const std::uint64_t dur = now_ns() - start_ns_;
+  --Tracer::thread_depth();
+  Tracer::instance().record(name_, start_ns_, dur, depth_);
+}
+
+}  // namespace topomap::obs

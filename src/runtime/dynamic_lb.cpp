@@ -5,6 +5,7 @@
 #include "core/metrics.hpp"
 #include "core/refine_topo_lb.hpp"
 #include "graph/quotient.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "topo/fault_overlay.hpp"
 #include "topo/sub_topology.hpp"
@@ -77,6 +78,8 @@ std::vector<DynamicEpochStats> run_dynamic_lb(const graph::TaskGraph& initial,
   core::Mapping compact_mapping;
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    OBS_SPAN("dynamic_lb/epoch");
+    OBS_COUNTER_ADD("dynamic_lb/epochs", 1);
     if (epoch > 0)
       current = drift(current, config.load_drift, config.comm_drift, rng);
 
@@ -168,6 +171,9 @@ std::vector<DynamicEpochStats> run_dynamic_lb(const graph::TaskGraph& initial,
     stats.migrations =
         prev_placement.empty() ? 0
                                : count_migrations(prev_placement, placement);
+    OBS_COUNTER_ADD("dynamic_lb/migrations", stats.migrations);
+    OBS_VALUE("dynamic_lb/epoch_migrations", stats.migrations);
+    OBS_SERIES_APPEND("dynamic_lb/hops_per_byte", stats.hops_per_byte);
     prev_placement = std::move(placement);
     history.push_back(stats);
   }

@@ -15,6 +15,16 @@
 // Everything is deterministic: stranded tasks are placed heaviest-
 // communicator-first (ties by lower task id), candidate processors tie to
 // the lower id, and refine sweeps visit tasks in ascending id order.
+//
+// Load-aware destinations: with EvacuateOptions::load_weight > 0 the
+// destination score adds a contention term
+//     load_weight * vertex_weight(t) * neighborhood_load(p)
+// where neighborhood_load(p) sums the vertex weights resident on p's alive
+// topology neighbours — heavy stranded tasks then steer away from already
+// hot regions instead of packing into them.  The term needs processor-level
+// links, so on distance-model topologies (has_adjacency() == false) it is
+// inert.  load_weight = 0 (the default) skips the bookkeeping entirely and
+// reproduces the pure hop-bytes placement bit for bit.
 #pragma once
 
 #include <vector>
@@ -27,6 +37,14 @@
 
 namespace topomap::rts {
 
+struct EvacuateOptions {
+  /// Bounded refine sweeps over the evacuated tasks (0 = placement only).
+  int refine_passes = 1;
+  /// Weight of the neighbourhood-load contention term in the destination
+  /// score.  0 keeps the historical pure hop-bytes behaviour.
+  double load_weight = 0.0;
+};
+
 struct EvacuationResult {
   /// Repaired placement: task -> alive processor, original overlay ids.
   core::Mapping mapping;
@@ -38,6 +56,9 @@ struct EvacuationResult {
   int refine_swaps = 0;
   /// Hop-bytes of `mapping` on the faulted overlay.
   double hop_bytes = 0.0;
+  /// Neighbourhood resident-load imbalance of `mapping` (max / mean over
+  /// alive processors); 1.0 on distance models or weightless graphs.
+  double load_imbalance = 1.0;
 };
 
 /// Repair `previous` (a valid one-to-one placement taken before the
@@ -46,6 +67,12 @@ struct EvacuationResult {
 /// precondition_error when the stranded tasks cannot fit on the free alive
 /// processors or a needed distance is disconnected.  refine_passes = 0
 /// migrates exactly the stranded tasks.
+EvacuationResult evacuate(const graph::TaskGraph& g,
+                          const topo::FaultOverlay& overlay,
+                          const core::Mapping& previous,
+                          const EvacuateOptions& options);
+
+/// Pure hop-bytes form (options with only refine_passes set).
 EvacuationResult evacuate(const graph::TaskGraph& g,
                           const topo::FaultOverlay& overlay,
                           const core::Mapping& previous, int refine_passes = 1);
@@ -60,6 +87,13 @@ struct EvacuateComparison {
 
 /// Run evacuate() and a from-scratch alive-subset remap with `strategy`
 /// against the same previous placement, for cost/quality comparison.
+EvacuateComparison compare_evacuate_vs_remap(const graph::TaskGraph& g,
+                                             const topo::FaultOverlay& overlay,
+                                             const core::Mapping& previous,
+                                             const core::MappingStrategy& strategy,
+                                             Rng& rng,
+                                             const EvacuateOptions& options);
+
 EvacuateComparison compare_evacuate_vs_remap(const graph::TaskGraph& g,
                                              const topo::FaultOverlay& overlay,
                                              const core::Mapping& previous,

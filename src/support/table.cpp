@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/stats.hpp"
 
 namespace topomap {
 
@@ -24,16 +25,12 @@ void Table::add_row(std::vector<TableCell> cells) {
 }
 
 std::string Table::format_cell(const TableCell& cell) const {
-  std::ostringstream os;
-  if (const auto* s = std::get_if<std::string>(&cell)) {
-    os << *s;
-  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
-    os << *i;
-  } else {
-    os << std::fixed << std::setprecision(precision_)
-       << std::get<double>(cell);
-  }
-  return os.str();
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  // One rounding policy for every numeric artifact (obs summaries, bench
+  // tables): support::format_fixed.
+  return format_fixed(std::get<double>(cell), precision_);
 }
 
 void Table::print(std::ostream& os) const {

@@ -25,6 +25,8 @@ class Table {
   void add_row(std::vector<TableCell> cells);
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<TableCell>>& rows() const { return rows_; }
 
   /// Render an aligned table (with title and header rule) to `os`.
   void print(std::ostream& os) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "topo/fault_overlay.hpp"
@@ -26,6 +27,9 @@ DistanceCache::DistanceCache(const Topology& topo) : n_(topo.size()) {
 }
 
 void DistanceCache::rebuild_all(const Topology& topo) {
+  OBS_SPAN("distcache/rebuild_all");
+  OBS_COUNTER_ADD("distcache/builds", 1);
+  OBS_COUNTER_ADD("distcache/rows_built", n_);
   scale_ = topo.distance_scale();
   const auto un = static_cast<std::size_t>(n_);
   // Rows are independent: fill in parallel, reduce per-chunk diameters in
@@ -51,6 +55,7 @@ void DistanceCache::rebuild_all(const Topology& topo) {
 
 bool DistanceCache::rescale_if_needed(const FaultOverlay& overlay) {
   if (overlay.distance_scale() == scale_) return false;
+  OBS_COUNTER_ADD("distcache/rescale_rebuilds", 1);
   // The plane's units changed (first soft fault engaged the weighted
   // metric, or the last degraded link vanished): every finite entry
   // re-expresses, so an all-rows rebuild is the incremental repair.  No
@@ -63,6 +68,8 @@ bool DistanceCache::rescale_if_needed(const FaultOverlay& overlay) {
 void DistanceCache::recompute_rows(const FaultOverlay& overlay,
                                    const std::vector<int>& rows) {
   const int m = static_cast<int>(rows.size());
+  OBS_COUNTER_ADD("distcache/repairs", 1);
+  OBS_COUNTER_ADD("distcache/rows_repaired", m);
   const auto un = static_cast<std::size_t>(n_);
   support::parallel_for(m, 4, [&](int begin, int end) {
     for (int i = begin; i < end; ++i) {

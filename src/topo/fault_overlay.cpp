@@ -6,6 +6,7 @@
 #include <queue>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace topomap::topo {
@@ -46,9 +47,13 @@ int FaultOverlay::fail_link(int a, int b) {
     degraded_.erase(it);  // the hard fault supersedes the soft one
     ++version_;
     failed_links_.insert(key);
+    OBS_COUNTER_ADD("faultoverlay/link_failures", 1);
     return prev;
   }
-  if (failed_links_.insert(key).second) ++version_;
+  if (failed_links_.insert(key).second) {
+    ++version_;
+    OBS_COUNTER_ADD("faultoverlay/link_failures", 1);
+  }
   return prev;
 }
 
@@ -58,6 +63,7 @@ void FaultOverlay::fail_node(int p) {
   dead_[static_cast<std::size_t>(p)] = 1;
   ++dead_count_;
   ++version_;
+  OBS_COUNTER_ADD("faultoverlay/node_failures", 1);
 }
 
 int FaultOverlay::degrade_link(int a, int b, double health) {
@@ -108,10 +114,12 @@ int FaultOverlay::degrade_link(int a, int b, double health) {
     if (it->second != cost) {
       it->second = cost;
       ++version_;
+      OBS_COUNTER_ADD("faultoverlay/link_degrades", 1);
     }
   } else {
     degraded_.emplace(key, cost);
     ++version_;
+    OBS_COUNTER_ADD("faultoverlay/link_degrades", 1);
   }
   return prev;
 }

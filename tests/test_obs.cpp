@@ -1,0 +1,396 @@
+// The obs:: subsystem: JSON round-trips, registry merge determinism across
+// worker-pool sizes, span nesting and the Chrome-trace exporter, the
+// schema-versioned Report, and — in instrumented builds — the contract that
+// enabling telemetry never changes a mapping result.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/metrics.hpp"
+#include "core/topo_lb.hpp"
+#include "graph/builders.hpp"
+#include "graph/task_graph.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/evacuate.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "topo/factory.hpp"
+#include "topo/fault_overlay.hpp"
+
+namespace topomap::obs {
+namespace {
+
+using json::Value;
+
+// Every test starts and ends with a clean, disabled registry so suites can
+// run in any order (and so the obs-off CI slice sees no stray state).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    Registry::instance().reset();
+    Tracer::instance().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset();
+    Tracer::instance().reset();
+    support::set_num_threads(1);
+  }
+};
+
+// --- JSON -----------------------------------------------------------------
+
+TEST_F(ObsTest, JsonRoundTripsScalarsArraysObjects) {
+  const std::string text =
+      R"({"a": 1, "b": -2.5, "c": "hi\nthere", "d": [true, false, null], )"
+      R"("e": {"nested": [1, 2, 3]}})";
+  const Value v = Value::parse(text);
+  EXPECT_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_EQ(v.at("b").as_number(), -2.5);
+  EXPECT_EQ(v.at("c").as_string(), "hi\nthere");
+  EXPECT_TRUE(v.at("d").items()[0].as_bool());
+  EXPECT_TRUE(v.at("d").items()[2].is_null());
+  EXPECT_EQ(v.at("e").at("nested").items().size(), 3u);
+  // dump -> parse -> dump is a fixed point.
+  const std::string once = v.dump();
+  EXPECT_EQ(Value::parse(once).dump(), once);
+}
+
+TEST_F(ObsTest, JsonPreservesMemberOrderAndShortNumbers) {
+  Value obj = Value::object();
+  obj.set("zulu", 1);
+  obj.set("alpha", 0.25);
+  EXPECT_EQ(obj.dump(), R"({"zulu":1,"alpha":0.25})");
+  EXPECT_EQ(json::format_number(3.0), "3");
+  EXPECT_EQ(json::format_number(0.1), "0.1");
+}
+
+TEST_F(ObsTest, JsonParseErrorsThrowWithOffset) {
+  EXPECT_THROW((void)Value::parse("{\"a\": }"), precondition_error);
+  EXPECT_THROW((void)Value::parse("[1, 2"), precondition_error);
+  EXPECT_THROW((void)Value::parse("{} trailing"), precondition_error);
+  EXPECT_THROW((void)Value::parse(""), precondition_error);
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST_F(ObsTest, RegistryCountsRecordsAndResets) {
+  Registry& reg = Registry::instance();
+  reg.add("x/count", 2);
+  reg.add("x/count", 3);
+  reg.record("x/value", 4.0);
+  reg.record("x/value", 8.0);
+  reg.append_series("x/series", 1.0);
+  reg.append_series("x/series", 2.0);
+
+  EXPECT_EQ(reg.counter("x/count"), 5u);
+  EXPECT_EQ(reg.counter("never/touched"), 0u);
+  const auto dists = reg.distributions();
+  ASSERT_EQ(dists.count("x/value"), 1u);
+  EXPECT_EQ(dists.at("x/value").count, 2u);
+  EXPECT_EQ(dists.at("x/value").mean(), 6.0);
+  const auto series = reg.series();
+  ASSERT_EQ(series.count("x/series"), 1u);
+  EXPECT_EQ(series.at("x/series"), (std::vector<double>{1.0, 2.0}));
+
+  reg.reset();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.distributions().empty());
+  EXPECT_TRUE(reg.series().empty());
+}
+
+// The same parallel workload must produce the same merged snapshot no
+// matter how many worker threads recorded it — counters sum exactly, and
+// integral-valued distribution samples keep FP sums order-free.
+TEST_F(ObsTest, RegistryMergeIsDeterministicAcrossThreadCounts) {
+  constexpr int kN = 10'000;
+  auto run = [&] {
+    Registry::instance().reset();
+    support::parallel_for(kN, /*grain=*/64, [](int begin, int end) {
+      for (int i = begin; i < end; ++i) {
+        Registry::instance().add("merge/count", 1);
+        Registry::instance().record("merge/value",
+                                    static_cast<double>(i % 7));
+      }
+    });
+    return std::pair{Registry::instance().counters(),
+                     Registry::instance().distributions()};
+  };
+
+  support::set_num_threads(1);
+  const auto base = run();
+  EXPECT_EQ(base.first.at("merge/count"), static_cast<std::uint64_t>(kN));
+  for (int threads : {2, 8}) {
+    support::set_num_threads(threads);
+    const auto got = run();
+    EXPECT_EQ(got.first, base.first) << threads << " threads";
+    const Distribution& d = got.second.at("merge/value");
+    const Distribution& b = base.second.at("merge/value");
+    EXPECT_EQ(d.count, b.count) << threads << " threads";
+    EXPECT_EQ(d.sum, b.sum) << threads << " threads";
+    EXPECT_EQ(d.min, b.min) << threads << " threads";
+    EXPECT_EQ(d.max, b.max) << threads << " threads";
+  }
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST_F(ObsTest, TracerRecordsNestedSpansInOrder) {
+  set_enabled(true);
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan inner("inner"); }
+    { ScopedSpan inner("inner"); }
+  }
+  const auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start time: outer opened first, then the two inner slices.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+            spans[2].start_ns + spans[2].dur_ns);
+  // Both inner spans sit inside the outer interval.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[2].start_ns + spans[2].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+
+  const auto rollup = Tracer::instance().rollup();
+  ASSERT_EQ(rollup.count("inner"), 1u);
+  EXPECT_EQ(rollup.at("inner").count, 2u);
+  EXPECT_NE(Tracer::instance().summary().find("outer"), std::string::npos);
+}
+
+TEST_F(ObsTest, TracerRecordsNothingWhileDisabled) {
+  { ScopedSpan span("ghost"); }
+  EXPECT_TRUE(Tracer::instance().spans().empty());
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsParseableCompleteEvents) {
+  set_enabled(true);
+  {
+    ScopedSpan a("phase/a");
+    { ScopedSpan b("phase/b"); }
+  }
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  const Value doc = Value::parse(os.str());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.items().size(), 2u);
+  for (const Value& event : doc.items()) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_TRUE(event.at("name").is_string());
+    EXPECT_GE(event.at("ts").as_number(), 0.0);
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    EXPECT_EQ(event.at("pid").as_number(), 1.0);
+    EXPECT_GE(event.at("tid").as_number(), 0.0);
+  }
+}
+
+// --- Report ---------------------------------------------------------------
+
+TEST_F(ObsTest, ReportCarriesSchemaAndCapturedState) {
+  set_enabled(true);
+  Registry::instance().add("report/count", 7);
+  Registry::instance().record("report/value", 3.0);
+  Registry::instance().append_series("report/series", 1.0);
+  { ScopedSpan span("report/span"); }
+
+  Report report;
+  report.set_meta("workload", "unit-test");
+  report.add_series("explicit", {1.0, 2.0, 3.0});
+  report.capture();
+  const Value doc = report.to_json();
+
+  EXPECT_EQ(doc.at("schema").as_string(), Report::kSchemaName);
+  EXPECT_EQ(doc.at("schema_version").as_number(),
+            static_cast<double>(Report::kSchemaVersion));
+  EXPECT_EQ(doc.at("meta").at("workload").as_string(), "unit-test");
+  EXPECT_EQ(doc.at("counters").at("report/count").as_number(), 7.0);
+  EXPECT_EQ(doc.at("distributions").at("report/value").at("mean").as_number(),
+            3.0);
+  EXPECT_EQ(doc.at("series").at("explicit").items().size(), 3u);
+  EXPECT_EQ(doc.at("series").at("report/series").items().size(), 1u);
+  EXPECT_GE(doc.at("spans").at("report/span").at("count").as_number(), 1.0);
+
+  // The artifact round-trips through its own parser.
+  std::ostringstream os;
+  report.write(os);
+  EXPECT_EQ(Value::parse(os.str()).at("schema").as_string(),
+            Report::kSchemaName);
+}
+
+TEST_F(ObsTest, ReportExplicitSeriesShadowsCapturedSeries) {
+  Registry::instance().append_series("same/name", 9.0);
+  Report report;
+  report.add_series("same/name", {1.0, 2.0});
+  report.capture();
+  EXPECT_EQ(report.to_json().at("series").at("same/name").items().size(), 2u);
+}
+
+TEST_F(ObsTest, ReportRejectsRaggedTableRows) {
+  Report report;
+  report.add_table("t", {"a", "b"}, {{Value(1.0)}});
+  EXPECT_THROW((void)report.to_json(), precondition_error);
+}
+
+TEST_F(ObsTest, ReportTableMixesStringsAndNumbers) {
+  Report report;
+  report.add_table("t", {"strategy", "hpb"},
+                   {{Value(std::string("topolb")), Value(1.5)}});
+  const Value doc = report.to_json();
+  const Value& row = doc.at("tables").at("t").at("rows").items()[0];
+  EXPECT_EQ(row.items()[0].as_string(), "topolb");
+  EXPECT_EQ(row.items()[1].as_number(), 1.5);
+}
+
+// --- Instrumented kernels (macro sites compiled in) -----------------------
+
+#if defined(TOPOMAP_OBS_ENABLED)
+
+// Telemetry only observes: the mapping with recording on must be
+// byte-identical to the mapping with recording off.
+TEST_F(ObsTest, EnablingObsDoesNotChangeTopoLBMapping) {
+  const auto g = graph::stencil_2d(6, 6, 1.0);
+  const auto topo = topo::make_topology("torus:6x6");
+  Rng rng_off(42);
+  set_enabled(false);
+  const core::Mapping off = core::TopoLB().map(g, *topo, rng_off);
+  Rng rng_on(42);
+  set_enabled(true);
+  const core::Mapping on = core::TopoLB().map(g, *topo, rng_on);
+  EXPECT_EQ(off, on);
+}
+
+TEST_F(ObsTest, TopoLBRecordsCountersAndHopBytesTrajectory) {
+  const auto g = graph::stencil_2d(6, 6, 1.0);
+  const auto topo = topo::make_topology("torus:6x6");
+  set_enabled(true);
+  Rng rng(1);
+  const core::Mapping m = core::TopoLB().map(g, *topo, rng);
+
+  Registry& reg = Registry::instance();
+  EXPECT_EQ(reg.counter("topolb/placements"), 36u);
+  EXPECT_GT(reg.counter("topolb/f_est_evals"), 0u);
+  EXPECT_GT(reg.counter("topolb/row_rescans"), 0u);
+  EXPECT_GT(reg.counter("distcache/builds"), 0u);
+
+  // The incremental trajectory converges to the exact final hop-bytes.
+  const auto series = reg.series();
+  ASSERT_EQ(series.count("topolb/hop_bytes_trajectory"), 1u);
+  const auto& traj = series.at("topolb/hop_bytes_trajectory");
+  ASSERT_EQ(traj.size(), 36u);
+  EXPECT_NEAR(traj.back(), core::hop_bytes(g, *topo, m), 1e-6);
+  // Monotone non-decreasing: each placement can only add hop-bytes.
+  for (std::size_t i = 1; i < traj.size(); ++i)
+    EXPECT_GE(traj[i], traj[i - 1] - 1e-9);
+
+  // The span tree covers the run.
+  const auto rollup = Tracer::instance().rollup();
+  EXPECT_EQ(rollup.count("topolb/map"), 1u);
+  ASSERT_EQ(rollup.count("topolb/select_task"), 1u);
+  EXPECT_EQ(rollup.at("topolb/select_task").count, 36u);
+}
+
+TEST_F(ObsTest, InstrumentedMappingIsThreadCountInvariant) {
+  const auto g = graph::stencil_2d(6, 6, 1.0);
+  const auto topo = topo::make_topology("torus:6x6");
+  set_enabled(true);
+
+  auto run = [&] {
+    Registry::instance().reset();
+    Rng rng(7);
+    const core::Mapping m = core::TopoLB().map(g, *topo, rng);
+    return std::pair{m, Registry::instance().counters()};
+  };
+  support::set_num_threads(1);
+  const auto base = run();
+  for (int threads : {2, 8}) {
+    support::set_num_threads(threads);
+    const auto got = run();
+    EXPECT_EQ(got.first, base.first) << threads << " threads";
+    EXPECT_EQ(got.second, base.second) << threads << " threads";
+  }
+}
+
+#endif  // TOPOMAP_OBS_ENABLED
+
+// --- Load-aware evacuation (satellite of this PR) -------------------------
+
+TEST_F(ObsTest, EvacuateZeroLoadWeightMatchesLegacyOverload) {
+  const auto g = graph::stencil_2d(3, 4, 1.0);
+  auto overlay = topo::FaultOverlay(topo::make_topology("torus:4x4"));
+  const core::Mapping previous = core::identity_mapping(12);
+  overlay.fail_node(2);
+  overlay.fail_node(7);
+
+  const rts::EvacuationResult legacy =
+      rts::evacuate(g, overlay, previous, /*refine_passes=*/2);
+  rts::EvacuateOptions options;
+  options.refine_passes = 2;
+  options.load_weight = 0.0;
+  const rts::EvacuationResult r = rts::evacuate(g, overlay, previous, options);
+  EXPECT_EQ(r.mapping, legacy.mapping);
+  EXPECT_EQ(r.migrations, legacy.migrations);
+  EXPECT_GE(r.load_imbalance, 1.0);
+}
+
+TEST_F(ObsTest, EvacuateLoadWeightYieldsValidMappingAndImbalance) {
+  // Heavy tasks stranded on failed processors: the load-aware score must
+  // still produce an injective all-alive mapping, and report imbalance.
+  graph::TaskGraph::Builder b("heavy");
+  b.add_vertices(12, 1.0);
+  b.set_vertex_weight(2, 8.0);
+  b.set_vertex_weight(7, 8.0);
+  for (int i = 0; i + 1 < 12; ++i) b.add_edge(i, i + 1, 1.0);
+  const auto g = std::move(b).build();
+
+  auto overlay = topo::FaultOverlay(topo::make_topology("torus:4x4"));
+  const core::Mapping previous = core::identity_mapping(12);
+  overlay.fail_node(2);
+  overlay.fail_node(7);
+
+  rts::EvacuateOptions options;
+  options.refine_passes = 2;
+  options.load_weight = 0.5;
+  const rts::EvacuationResult r = rts::evacuate(g, overlay, previous, options);
+  ASSERT_EQ(r.mapping.size(), 12u);
+  std::vector<char> used(16, 0);
+  for (int proc : r.mapping) {
+    ASSERT_GE(proc, 0);
+    ASSERT_LT(proc, 16);
+    EXPECT_TRUE(overlay.is_alive(proc));
+    EXPECT_FALSE(used[static_cast<std::size_t>(proc)]);
+    used[static_cast<std::size_t>(proc)] = 1;
+  }
+  EXPECT_GE(r.load_imbalance, 1.0);
+  EXPECT_GT(r.hop_bytes, 0.0);
+  // Deterministic.
+  EXPECT_EQ(rts::evacuate(g, overlay, previous, options).mapping, r.mapping);
+}
+
+TEST_F(ObsTest, EvacuateRejectsNegativeLoadWeight) {
+  const auto g = graph::stencil_2d(2, 2, 1.0);
+  auto overlay = topo::FaultOverlay(topo::make_topology("torus:2x2"));
+  rts::EvacuateOptions options;
+  options.load_weight = -1.0;
+  EXPECT_THROW(
+      (void)rts::evacuate(g, overlay, core::identity_mapping(4), options),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace topomap::obs

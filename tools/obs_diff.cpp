@@ -1,0 +1,200 @@
+// obs_diff — compare two obs::Report JSON artifacts.
+//
+//   obs_diff A.json B.json [--all] [--tolerance=R]
+//
+// Prints per-counter deltas (B - A), span-rollup total/mean shifts, and
+// meta/series differences, so two runs (before/after an optimisation, two
+// strategies, two thread counts) can be compared without spreadsheet work.
+// By default only changed entries print; --all prints every common entry
+// too.  --tolerance=R (default 0) treats relative span-time changes within
+// R as unchanged — wall-clock jitter, not signal.
+//
+// Exit status: 0 when the reports match (no differences outside tolerance;
+// span timings never affect the status), 1 when counters/meta/series
+// differ, 2 on usage or parse errors.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using topomap::obs::json::Value;
+
+Value load_report(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "error: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  Value doc = Value::parse(buf.str());
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != topomap::obs::Report::kSchemaName) {
+    std::cerr << "error: " << path << " is not a "
+              << topomap::obs::Report::kSchemaName << " document\n";
+    std::exit(2);
+  }
+  return doc;
+}
+
+/// The named object section as a sorted name -> Value map (empty when the
+/// section is absent — consumers tolerate unknown/missing sections).
+std::map<std::string, Value> section(const Value& doc, const char* name) {
+  std::map<std::string, Value> out;
+  const Value* sec = doc.find(name);
+  if (sec == nullptr || !sec->is_object()) return out;
+  for (const auto& [key, value] : sec->members()) out.emplace(key, value);
+  return out;
+}
+
+std::string fmt(double x) { return topomap::obs::json::format_number(x); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path_a, path_b;
+  bool show_all = false;
+  double tolerance = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      show_all = true;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::stod(arg.substr(12));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: obs_diff A.json B.json [--all] [--tolerance=R]\n";
+      return 0;
+    } else if (path_a.empty()) {
+      path_a = arg;
+    } else if (path_b.empty()) {
+      path_b = arg;
+    } else {
+      std::cerr << "error: unexpected argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (path_a.empty() || path_b.empty()) {
+    std::cerr << "usage: obs_diff A.json B.json [--all] [--tolerance=R]\n";
+    return 2;
+  }
+
+  int differences = 0;
+  try {
+    const Value a = load_report(path_a);
+    const Value b = load_report(path_b);
+
+    // --- meta ---
+    const auto meta_a = section(a, "meta");
+    const auto meta_b = section(b, "meta");
+    for (const auto& [key, va] : meta_a) {
+      const auto it = meta_b.find(key);
+      if (it == meta_b.end()) {
+        std::cout << "meta    " << key << ": only in A (" << va.dump()
+                  << ")\n";
+        ++differences;
+      } else if (va.dump() != it->second.dump()) {
+        std::cout << "meta    " << key << ": " << va.dump() << " -> "
+                  << it->second.dump() << "\n";
+        ++differences;
+      }
+    }
+    for (const auto& [key, vb] : meta_b) {
+      if (meta_a.find(key) == meta_a.end()) {
+        std::cout << "meta    " << key << ": only in B (" << vb.dump()
+                  << ")\n";
+        ++differences;
+      }
+    }
+
+    // --- counters: per-name delta B - A (absent counts as 0) ---
+    const auto counters_a = section(a, "counters");
+    const auto counters_b = section(b, "counters");
+    std::map<std::string, std::pair<double, double>> counters;
+    for (const auto& [name, v] : counters_a)
+      counters[name].first = v.as_number();
+    for (const auto& [name, v] : counters_b)
+      counters[name].second = v.as_number();
+    for (const auto& [name, ab] : counters) {
+      const double delta = ab.second - ab.first;
+      if (delta != 0.0) ++differences;
+      if (delta == 0.0 && !show_all) continue;
+      std::cout << "counter " << name << ": " << fmt(ab.first) << " -> "
+                << fmt(ab.second) << "  (" << (delta >= 0.0 ? "+" : "")
+                << fmt(delta) << ")\n";
+    }
+
+    // --- span rollups: total duration shift, tolerance-filtered ---
+    const auto spans_a = section(a, "spans");
+    const auto spans_b = section(b, "spans");
+    for (const auto& [name, va] : spans_a) {
+      const auto it = spans_b.find(name);
+      if (it == spans_b.end()) {
+        std::cout << "span    " << name << ": only in A\n";
+        continue;
+      }
+      const double ta = va.at("sum").as_number();
+      const double tb = it->second.at("sum").as_number();
+      const double rel =
+          ta > 0.0 ? std::abs(tb - ta) / ta : (tb > 0.0 ? 1.0 : 0.0);
+      if (rel <= tolerance && !show_all) continue;
+      std::cout << "span    " << name << ": total " << fmt(ta) << " -> "
+                << fmt(tb) << " us ("
+                << fmt(va.at("count").as_number()) << " -> "
+                << fmt(it->second.at("count").as_number()) << " spans)\n";
+    }
+    for (const auto& [name, vb] : spans_b) {
+      (void)vb;
+      if (spans_a.find(name) == spans_a.end())
+        std::cout << "span    " << name << ": only in B\n";
+    }
+
+    // --- series: length + final value ---
+    const auto series_a = section(a, "series");
+    const auto series_b = section(b, "series");
+    for (const auto& [name, va] : series_a) {
+      const auto it = series_b.find(name);
+      if (it == series_b.end()) {
+        std::cout << "series  " << name << ": only in A\n";
+        ++differences;
+        continue;
+      }
+      const auto& xs = va.items();
+      const auto& ys = it->second.items();
+      const double last_a = xs.empty() ? 0.0 : xs.back().as_number();
+      const double last_b = ys.empty() ? 0.0 : ys.back().as_number();
+      if (xs.size() == ys.size() && last_a == last_b) {
+        if (show_all)
+          std::cout << "series  " << name << ": unchanged (" << xs.size()
+                    << " points, final " << fmt(last_a) << ")\n";
+        continue;
+      }
+      ++differences;
+      std::cout << "series  " << name << ": " << xs.size() << " -> "
+                << ys.size() << " points, final " << fmt(last_a) << " -> "
+                << fmt(last_b) << "\n";
+    }
+    for (const auto& [name, vb] : series_b) {
+      (void)vb;
+      if (series_a.find(name) == series_a.end()) {
+        std::cout << "series  " << name << ": only in B\n";
+        ++differences;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (differences == 0)
+    std::cout << "reports match (span timings ignored)\n";
+  return differences == 0 ? 0 : 1;
+}

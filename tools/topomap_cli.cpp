@@ -21,6 +21,14 @@
 // recursive, anneal, <base>+refine, <base>+linkrefine).
 //
 // Everything prints to stdout; --output writes machine-readable files.
+//
+// Observability: map/simulate/evacuate accept --trace=FILE (Chrome-trace
+// JSON of the run's phase spans; load in chrome://tracing or
+// ui.perfetto.dev) and --stats=FILE (a schema-versioned obs::Report with
+// counters, span rollups, and series such as TopoLB's per-iteration
+// hop-bytes trajectory).  Both need a build with -DTOPOMAP_OBS=ON to carry
+// instrumentation data; an OFF build still writes schema-valid artifacts
+// and warns that they are empty.
 #include <fstream>
 #include <iostream>
 
@@ -29,6 +37,8 @@
 #include "graph/factory.hpp"
 #include "graph/quotient.hpp"
 #include "netsim/app.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "partition/partition.hpp"
 #include "runtime/evacuate.hpp"
 #include "runtime/lb_manager.hpp"
@@ -41,6 +51,52 @@
 namespace {
 
 using namespace topomap;
+
+void add_obs_options(CliParser& cli) {
+  cli.add_option("trace", "write Chrome-trace JSON of phase spans here", "");
+  cli.add_option("stats", "write an obs::Report JSON (counters/spans) here",
+                 "");
+}
+
+/// Handles --trace/--stats: switches recording on up front, collects run
+/// metadata, and writes both artifacts once the command's root span closed.
+struct ObsOutputs {
+  std::string trace_path;
+  std::string stats_path;
+  obs::Report report;
+
+  bool active() const { return !trace_path.empty() || !stats_path.empty(); }
+
+  void init(const CliParser& cli) {
+    trace_path = cli.str("trace");
+    stats_path = cli.str("stats");
+    if (!active()) return;
+#if defined(TOPOMAP_OBS_ENABLED)
+    obs::set_enabled(true);
+#else
+    std::cerr << "warning: this binary was built without -DTOPOMAP_OBS=ON; "
+                 "--trace/--stats artifacts will carry no instrumentation "
+                 "data\n";
+#endif
+  }
+
+  void meta(const std::string& key, double value) {
+    report.set_meta(key, obs::json::format_number(value));
+  }
+
+  void finish() {
+    if (!stats_path.empty()) {
+      report.capture();
+      report.write_file(stats_path);
+      std::cout << "stats written to " << stats_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      obs::Tracer::instance().write_chrome_trace(os);
+      std::cout << "trace written to " << trace_path << "\n";
+    }
+  }
+};
 
 void add_fault_options(CliParser& cli) {
   cli.add_option("fail-link", "failed links a:b[,c:d...]", "");
@@ -102,6 +158,7 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   cli.add_option("seed", "RNG seed", "1");
   cli.add_option("output", "write 'task processor' lines here", "");
   add_fault_options(cli);
+  add_obs_options(cli);
   if (simulate) {
     cli.add_option("iterations", "app iterations", "200");
     cli.add_option("compute-us", "compute per task-iteration (us)", "10");
@@ -111,6 +168,9 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   }
   if (!cli.parse(argc, argv)) return 0;
 
+  ObsOutputs obs_out;
+  obs_out.init(cli);
+
   Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
   const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
   const auto topo = topo::make_topology(cli.str("topology"));
@@ -119,19 +179,31 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   const topo::Topology& machine = overlay ? *overlay : *topo;
   const auto strategy = core::make_strategy(cli.str("strategy"));
 
+  obs_out.report.set_meta("command", simulate ? "simulate" : "map");
+  obs_out.report.set_meta("workload", g.label());
+  obs_out.report.set_meta("machine", topo->name());
+  obs_out.report.set_meta("strategy", strategy->name());
+  obs_out.report.set_meta("seed", cli.str("seed"));
+
   core::Mapping m;
-  if (overlay) {
-    // map_on_alive enforces tasks <= alive and keeps dead processors empty.
-    m = core::map_on_alive(*strategy, g, *overlay, rng);
-  } else {
-    if (g.num_vertices() != topo->size()) {
-      std::cerr << "error: workload has " << g.num_vertices()
-                << " tasks but the machine has " << topo->size()
-                << " processors; use `topomap pipeline` when tasks > procs\n";
-      return 1;
+  {
+    obs::ScopedSpan root_span(simulate ? "cli/simulate" : "cli/map");
+    if (overlay) {
+      // map_on_alive enforces tasks <= alive; dead processors stay empty.
+      m = core::map_on_alive(*strategy, g, *overlay, rng);
+    } else {
+      if (g.num_vertices() != topo->size()) {
+        std::cerr << "error: workload has " << g.num_vertices()
+                  << " tasks but the machine has " << topo->size()
+                  << " processors; use `topomap pipeline` when tasks > "
+                     "procs\n";
+        return 1;
+      }
+      m = strategy->map(g, *topo, rng);
     }
-    m = strategy->map(g, *topo, rng);
   }
+  obs_out.meta("hop_bytes", core::hop_bytes(g, machine, m));
+  obs_out.meta("hops_per_byte", core::hops_per_byte(g, machine, m));
 
   std::cout << "workload:       " << g.label() << " (" << g.num_edges()
             << " edges, " << g.total_comm_bytes() << " B/iter)\n"
@@ -157,6 +229,7 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
         model_str == "storeforward" ? netsim::ServiceModel::kStoreForward
                                     : netsim::ServiceModel::kWormhole;
     const auto r = netsim::run_iterative_app(g, machine, m, app, net, model);
+    obs_out.meta("completion_us", r.completion_us);
     std::cout << "simulation:     " << app.iterations << " iterations at "
               << net.bandwidth << " MB/s (" << routing << ", " << model_str
               << ")\n"
@@ -173,6 +246,7 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
     rts::write_rank_mapping(os, m);
     std::cout << "mapping written to " << out << "\n";
   }
+  obs_out.finish();
   return 0;
 }
 
@@ -253,9 +327,17 @@ int cmd_evacuate(int argc, const char* const* argv) {
   cli.add_option("seed", "RNG seed", "1");
   cli.add_option("refine-passes", "bounded refine sweeps after evacuation",
                  "1");
+  cli.add_option("load-weight",
+                 "neighbourhood-load term weight in the destination score "
+                 "(0 = pure hop-bytes)",
+                 "0");
   cli.add_option("output", "write repaired 'task processor' lines here", "");
   add_fault_options(cli);
+  add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+
+  ObsOutputs obs_out;
+  obs_out.init(cli);
 
   Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
   const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
@@ -267,15 +349,31 @@ int cmd_evacuate(int argc, const char* const* argv) {
     return 1;
   }
 
+  obs_out.report.set_meta("command", "evacuate");
+  obs_out.report.set_meta("workload", g.label());
+  obs_out.report.set_meta("machine", topo->name());
+  obs_out.report.set_meta("strategy", cli.str("strategy"));
+  obs_out.report.set_meta("seed", cli.str("seed"));
+
   // Map on the healthy machine first: the faults strike a running job.
   topo::FaultOverlay healthy(topo);
   const auto strategy = core::make_strategy(cli.str("strategy"));
-  const core::Mapping before = core::map_on_alive(*strategy, g, healthy, rng);
-  const double hb_before = core::hop_bytes(g, *topo, before);
+  rts::EvacuateOptions evac_options;
+  evac_options.refine_passes = static_cast<int>(cli.integer("refine-passes"));
+  evac_options.load_weight = cli.real("load-weight");
 
-  const auto cmp = rts::compare_evacuate_vs_remap(
-      g, *overlay, before, *strategy, rng,
-      static_cast<int>(cli.integer("refine-passes")));
+  core::Mapping before;
+  double hb_before = 0.0;
+  rts::EvacuateComparison cmp;
+  {
+    obs::ScopedSpan root_span("cli/evacuate");
+    before = core::map_on_alive(*strategy, g, healthy, rng);
+    hb_before = core::hop_bytes(g, *topo, before);
+    cmp = rts::compare_evacuate_vs_remap(g, *overlay, before, *strategy, rng,
+                                         evac_options);
+  }
+  obs_out.meta("hop_bytes", cmp.evac.hop_bytes);
+  obs_out.meta("load_imbalance", cmp.evac.load_imbalance);
 
   std::cout << "workload:       " << g.label() << " (" << g.num_vertices()
             << " tasks)\n"
@@ -286,7 +384,8 @@ int cmd_evacuate(int argc, const char* const* argv) {
             << "evacuate:       " << cmp.evac.stranded << " stranded, "
             << cmp.evac.migrations << " migrations ("
             << cmp.evac.refine_swaps << " refine swaps), hop-bytes "
-            << cmp.evac.hop_bytes << "\n"
+            << cmp.evac.hop_bytes << ", nbhd load imbalance "
+            << cmp.evac.load_imbalance << "\n"
             << "full remap:     " << cmp.full_migrations
             << " migrations, hop-bytes " << cmp.full_hop_bytes << "\n"
             << "evac/remap:     hop-bytes ratio "
@@ -299,6 +398,7 @@ int cmd_evacuate(int argc, const char* const* argv) {
     rts::write_rank_mapping(os, cmp.evac.mapping);
     std::cout << "repaired mapping written to " << out << "\n";
   }
+  obs_out.finish();
   return 0;
 }
 
