@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "bench/common.hpp"
+#include "core/contention.hpp"
 #include "core/fault_aware.hpp"
 #include "graph/builders.hpp"
 #include "netsim/app.hpp"
@@ -128,6 +129,14 @@ int main(int argc, char** argv) {
                    blind_sim.completion_us / 1000.0,
                    aware_sim.completion_us / 1000.0});
     if (aware_sick >= blind_sick) aware_wins_everywhere = false;
+
+    // Explain the shift: per-link diff blind -> aware on the degraded
+    // machine (the degraded cut's links should dominate the drops).
+    const core::ContentionDiff diff =
+        core::diff_contention(core::attribute_link_loads(g, *overlay, blind),
+                              core::attribute_link_loads(g, *overlay, aware));
+    std::cout << "\n[" << sc.label << "] contention shift blind -> aware:\n"
+              << core::render_contention_diff(diff, 5, 3);
   }
 
   bench::emit(table, "ablation_soft_faults");

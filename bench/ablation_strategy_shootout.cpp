@@ -11,6 +11,7 @@
 // the dragonfly, which is exactly the paper's motivation for targeting
 // torus/mesh machines.
 #include "bench/common.hpp"
+#include "core/contention.hpp"
 #include "graph/builders.hpp"
 #include "topo/factory.hpp"
 
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     const auto g = graph::stencil_2d(12, 12, 1.0);
     const auto t = topo::make_topology("torus:12x12");
     Table table("all strategies: 12x12 stencil on 12x12 torus",
-                {"strategy", "hops/byte", "seconds"}, 3);
+                {"strategy", "hops/byte", "max_link_B", "l2", "seconds"}, 3);
     for (const char* spec :
          {"random", "greedy", "topocent", "topolb1", "topolb", "topolb3",
           "recursive", "anneal", "topolb+refine", "topolb+linkrefine",
@@ -40,7 +41,12 @@ int main(int argc, char** argv) {
         hpb = bench::mean_hops_per_byte(*strategy, g, *t, rng,
                                         std::string(spec) == "random" ? 5 : 1);
       });
-      table.add_row({std::string(spec), hpb, secs});
+      // Contention proxy of one representative mapping (fresh seed-`seed`
+      // RNG, matching the first mean_hops_per_byte repetition).
+      Rng map_rng(seed);
+      const core::ContentionStats s =
+          core::contention_stats(g, *t, strategy->map(g, *t, map_rng));
+      table.add_row({std::string(spec), hpb, s.max_bytes, s.l2, secs});
     }
     bench::emit(table, "ablation_shootout_strategies");
   }

@@ -8,6 +8,7 @@
 // TopoLB < TopoCentLB < random still holds because fewer hops mean fewer
 // serialisations and less queuing.
 #include "bench/common.hpp"
+#include "core/contention.hpp"
 #include "graph/builders.hpp"
 #include "netsim/app.hpp"
 #include "topo/torus_mesh.hpp"
@@ -41,6 +42,20 @@ int main(int argc, char** argv) {
             << core::hops_per_byte(g, torus, m_greedy)
             << " topocent=" << core::hops_per_byte(g, torus, m_cent)
             << " topolb=" << core::hops_per_byte(g, torus, m_lb) << "\n";
+
+  // Bandwidth-independent contention proxy (§5.3): per-link byte loads of
+  // each mapping — the quantity whose congestion the latency sweep exposes.
+  Table contention("Per-link load (proxy for the latency divergence below)",
+                   {"strategy", "max_link_B", "mean_link_B", "l2", "gini"},
+                   4);
+  const std::pair<const char*, const core::Mapping*> mappings[] = {
+      {"greedy", &m_greedy}, {"topocent", &m_cent}, {"topolb", &m_lb}};
+  for (const auto& [name, m] : mappings) {
+    const core::ContentionStats s = core::contention_stats(g, torus, *m);
+    contention.add_row(
+        {std::string(name), s.max_bytes, s.mean_bytes, s.l2, s.gini});
+  }
+  bench::emit(contention, "fig7_8_link_contention");
 
   netsim::AppParams app;
   app.iterations = static_cast<int>(cli.integer("iterations"));

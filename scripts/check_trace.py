@@ -6,16 +6,26 @@ Usage:
     scripts/check_trace.py --stats stats.json      # obs::Report document
     scripts/check_trace.py --stats stats.json --require-series NAME
     scripts/check_trace.py --stats stats.json --require-counter NAME
+    scripts/check_trace.py --trace trace.json --require-counter-track NAME
+    scripts/check_trace.py --contention report.json  # explain artifact
 
-A trace must be a JSON array of complete events: every entry needs a string
-"name", "ph" == "X", numeric "ts"/"dur" >= 0, and "pid"/"tid".  A stats
-file must carry the versioned report schema ("topomap.obs.report", version
-1) with object-valued counters/distributions/series/spans sections.
---require-series additionally asserts the named series exists, is
-non-empty, and is monotone non-decreasing (the shape of TopoLB's hop-bytes
-trajectory); --require-counter asserts the named counter exists and is a
-positive integer.  Exit 0 on success, 1 on validation failure, 2 on usage
-or I/O errors.  Stdlib only — no third-party imports.
+A trace must be a JSON array of events: complete spans ("ph" == "X" with
+numeric "ts"/"dur" >= 0) or counter samples ("ph" == "C" with numeric "ts"
+>= 0 and a numeric args.value) — netsim telemetry emits the latter on its
+own pid so Perfetto renders counter tracks beside the wall-clock spans.
+--require-counter-track asserts a named counter track exists in the trace.
+A stats file must carry the versioned report schema ("topomap.obs.report",
+version 1) with object-valued counters/distributions/series/spans
+sections.  --require-series additionally asserts the named series exists,
+is non-empty, and is monotone non-decreasing (the shape of TopoLB's
+hop-bytes trajectory); --require-counter asserts the named counter exists
+and is a positive integer.  --contention validates a `topomap explain`
+artifact ("topomap.obs.contention", version 1): per-link contributor sums
+must equal the link totals, the stats total must equal the links' sum,
+timeline arrays must be parallel with ascending timestamps and utilization
+in [0, 1], and any diff must satisfy delta == bytes_b - bytes_a.  Exit 0
+on success, 1 on validation failure, 2 on usage or I/O errors.  Stdlib
+only — no third-party imports.
 """
 
 import argparse
@@ -24,6 +34,9 @@ import sys
 
 SCHEMA_NAME = "topomap.obs.report"
 SCHEMA_VERSION = 1
+CONTENTION_SCHEMA_NAME = "topomap.obs.contention"
+CONTENTION_SCHEMA_VERSION = 1
+EPS = 1e-9
 
 
 def fail(msg: str) -> None:
@@ -40,28 +53,49 @@ def load(path: str):
         sys.exit(2)
 
 
-def check_trace(path: str) -> None:
+def check_trace(path: str, require_counter_tracks) -> None:
     doc = load(path)
     if not isinstance(doc, list):
         fail(f"{path}: trace must be a JSON array of events")
+    spans = 0
+    counter_tracks = {}
     for i, event in enumerate(doc):
         if not isinstance(event, dict):
             fail(f"{path}: event {i} is not an object")
         if not isinstance(event.get("name"), str) or not event["name"]:
             fail(f"{path}: event {i} missing string 'name'")
-        if event.get("ph") != "X":
-            fail(f"{path}: event {i} has ph={event.get('ph')!r}, want 'X'")
-        for key in ("ts", "dur"):
+        ph = event.get("ph")
+        if ph not in ("X", "C"):
+            fail(f"{path}: event {i} has ph={ph!r}, want 'X' or 'C'")
+        keys = ("ts", "dur") if ph == "X" else ("ts",)
+        for key in keys:
             v = event.get(key)
             if not isinstance(v, (int, float)) or v < 0:
                 fail(f"{path}: event {i} has bad {key}={v!r}")
         for key in ("pid", "tid"):
             if not isinstance(event.get(key), int):
                 fail(f"{path}: event {i} missing integer '{key}'")
-    print(f"check_trace: OK: {path} ({len(doc)} complete events)")
+        if ph == "X":
+            spans += 1
+        else:
+            args = event.get("args")
+            if (not isinstance(args, dict)
+                    or not isinstance(args.get("value"), (int, float))):
+                fail(f"{path}: counter event {i} missing numeric args.value")
+            counter_tracks[event["name"]] = \
+                counter_tracks.get(event["name"], 0) + 1
+    for name in require_counter_tracks:
+        if name not in counter_tracks:
+            fail(f"{path}: required counter track {name!r} missing "
+                 f"(present: {sorted(counter_tracks)})")
+        print(f"check_trace: counter track '{name}': "
+              f"{counter_tracks[name]} samples")
+    print(f"check_trace: OK: {path} ({spans} complete events, "
+          f"{len(counter_tracks)} counter tracks)")
 
 
-def check_stats(path: str, require_series, require_counters) -> None:
+def check_stats(path: str, require_series, require_any_series,
+                require_counters) -> None:
     doc = load(path)
     if not isinstance(doc, dict):
         fail(f"{path}: report must be a JSON object")
@@ -88,6 +122,11 @@ def check_stats(path: str, require_series, require_counters) -> None:
             fail(f"{path}: series '{name}' is not monotone non-decreasing")
         print(f"check_trace: series '{name}': {len(series)} points, "
               f"final {series[-1]}")
+    for name in require_any_series:
+        series = doc["series"].get(name)
+        if not isinstance(series, list) or not series:
+            fail(f"{path}: required series '{name}' missing or empty")
+        print(f"check_trace: series '{name}': {len(series)} points")
     for name in require_counters:
         value = doc["counters"].get(name)
         if not isinstance(value, (int, float)) or value <= 0:
@@ -98,27 +137,134 @@ def check_stats(path: str, require_series, require_counters) -> None:
           f"{len(doc['spans'])} span rollups, {len(doc['series'])} series)")
 
 
+def close(a: float, b: float) -> bool:
+    return abs(a - b) <= EPS * max(1.0, abs(a), abs(b))
+
+
+def check_link_entry(path: str, i: int, link) -> float:
+    """Validate one entry of a contention report's links array; returns its
+    byte total."""
+    if not isinstance(link, dict):
+        fail(f"{path}: links[{i}] is not an object")
+    for key in ("from", "to"):
+        if not isinstance(link.get(key), int):
+            fail(f"{path}: links[{i}] missing integer '{key}'")
+    bytes_total = link.get("bytes")
+    if not isinstance(bytes_total, (int, float)) or bytes_total < 0:
+        fail(f"{path}: links[{i}] has bad bytes={bytes_total!r}")
+    contributors = link.get("contributors")
+    if not isinstance(contributors, list) or not contributors:
+        fail(f"{path}: links[{i}] missing contributors")
+    contrib_sum = 0.0
+    for j, c in enumerate(contributors):
+        if (not isinstance(c, dict)
+                or not isinstance(c.get("a"), int)
+                or not isinstance(c.get("b"), int)
+                or not isinstance(c.get("bytes"), (int, float))
+                or c["bytes"] < 0):
+            fail(f"{path}: links[{i}].contributors[{j}] malformed")
+        contrib_sum += c["bytes"]
+    if not close(contrib_sum, bytes_total):
+        fail(f"{path}: links[{i}] ({link['from']},{link['to']}): "
+             f"contributors sum {contrib_sum} != bytes {bytes_total}")
+    return bytes_total
+
+
+def check_contention(path: str) -> None:
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: contention report must be a JSON object")
+    if doc.get("schema") != CONTENTION_SCHEMA_NAME:
+        fail(f"{path}: schema={doc.get('schema')!r}, "
+             f"want {CONTENTION_SCHEMA_NAME!r}")
+    if doc.get("schema_version") != CONTENTION_SCHEMA_VERSION:
+        fail(f"{path}: schema_version={doc.get('schema_version')!r}, "
+             f"want {CONTENTION_SCHEMA_VERSION}")
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        fail(f"{path}: missing 'stats' object")
+    for key in ("total_bytes", "max_bytes", "mean_bytes", "l2", "gini",
+                "links_used", "links_total"):
+        if not isinstance(stats.get(key), (int, float)):
+            fail(f"{path}: stats missing numeric '{key}'")
+    links = doc.get("links")
+    if not isinstance(links, list):
+        fail(f"{path}: missing 'links' array")
+    links_sum = sum(check_link_entry(path, i, l) for i, l in
+                    enumerate(links))
+    if not close(links_sum, stats["total_bytes"]):
+        fail(f"{path}: per-link totals sum {links_sum} != "
+             f"stats.total_bytes {stats['total_bytes']}")
+    timeline = doc.get("timeline")
+    if timeline is not None:
+        for key in ("t_us", "util_max", "queue_depth"):
+            if not isinstance(timeline.get(key), list):
+                fail(f"{path}: timeline missing array '{key}'")
+        n = len(timeline["t_us"])
+        for key in ("util_max", "queue_depth"):
+            if len(timeline[key]) != n:
+                fail(f"{path}: timeline.{key} has {len(timeline[key])} "
+                     f"entries, want {n} (parallel arrays)")
+        ts = timeline["t_us"]
+        if any(b <= a for a, b in zip(ts, ts[1:])):
+            fail(f"{path}: timeline.t_us is not strictly ascending")
+        if any(not 0.0 <= u <= 1.0 + EPS for u in timeline["util_max"]):
+            fail(f"{path}: timeline.util_max outside [0, 1]")
+    diff = doc.get("diff")
+    if diff is not None:
+        dlinks = diff.get("links")
+        if not isinstance(dlinks, list):
+            fail(f"{path}: diff missing 'links' array")
+        for i, d in enumerate(dlinks):
+            for key in ("bytes_a", "bytes_b", "delta"):
+                if not isinstance(d.get(key), (int, float)):
+                    fail(f"{path}: diff.links[{i}] missing '{key}'")
+            if not close(d["bytes_b"] - d["bytes_a"], d["delta"]):
+                fail(f"{path}: diff.links[{i}]: delta {d['delta']} != "
+                     f"bytes_b - bytes_a "
+                     f"({d['bytes_b']} - {d['bytes_a']})")
+    print(f"check_trace: OK: {path} ({len(links)} attributed links"
+          f"{', timeline' if timeline is not None else ''}"
+          f"{', diff' if diff is not None else ''})")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
     parser.add_argument("--stats", help="obs::Report JSON file to validate")
+    parser.add_argument("--contention",
+                        help="topomap explain contention report to validate")
     parser.add_argument("--require-series", action="append", default=[],
                         metavar="NAME",
                         help="assert this series exists in --stats and is "
                              "monotone non-decreasing")
+    parser.add_argument("--require-any-series", action="append", default=[],
+                        metavar="NAME",
+                        help="assert this series exists in --stats and is "
+                             "non-empty (no shape constraint)")
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME",
                         help="assert this counter exists in --stats and is "
                              "positive")
+    parser.add_argument("--require-counter-track", action="append",
+                        default=[], metavar="NAME",
+                        help="assert this counter track exists in --trace")
     args = parser.parse_args()
-    if not args.trace and not args.stats:
-        parser.error("give --trace and/or --stats")
-    if (args.require_series or args.require_counter) and not args.stats:
-        parser.error("--require-series/--require-counter need --stats")
+    if not args.trace and not args.stats and not args.contention:
+        parser.error("give --trace, --stats, and/or --contention")
+    if ((args.require_series or args.require_any_series
+         or args.require_counter) and not args.stats):
+        parser.error("--require-series/--require-any-series/"
+                     "--require-counter need --stats")
+    if args.require_counter_track and not args.trace:
+        parser.error("--require-counter-track needs --trace")
     if args.trace:
-        check_trace(args.trace)
+        check_trace(args.trace, args.require_counter_track)
     if args.stats:
-        check_stats(args.stats, args.require_series, args.require_counter)
+        check_stats(args.stats, args.require_series, args.require_any_series,
+                    args.require_counter)
+    if args.contention:
+        check_contention(args.contention)
 
 
 if __name__ == "__main__":

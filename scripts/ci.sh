@@ -17,6 +17,12 @@ cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci-release -j "$JOBS"
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
 
+echo "=== bench regression gate (deterministic tables vs baseline) ==="
+# Non-timing gate: wall-clock columns are dropped at rollup, so only
+# mapping-quality columns (hop-bytes, max-link-load, L2, virtual-time
+# results) can fail it.  scripts/bench_gate.sh <dir> --update regenerates.
+scripts/bench_gate.sh build-ci-release
+
 echo "=== obs (-DTOPOMAP_OBS=ON): unit slice + artifact validation ==="
 cmake -B build-ci-obs -S . -DCMAKE_BUILD_TYPE=Release -DTOPOMAP_OBS=ON \
   >/dev/null
@@ -36,6 +42,20 @@ python3 scripts/check_trace.py --trace "$OBS_TMP/trace.json" \
 build-ci-release/tools/topomap map --strategy=topolb --tasks=stencil2d:16x16 \
   --topology=torus:16x16 --seed=7 --output="$OBS_TMP/plain.map" >/dev/null
 diff "$OBS_TMP/plain.map" "$OBS_TMP/obs.map"
+# Contention explainability: the explain artifact must carry the versioned
+# schema with exact attribution sums, a diff, and netsim counter tracks in
+# the trace (virtual-time telemetry next to the wall-clock spans).
+build-ci-obs/tools/topomap explain --strategy=topolb --baseline=greedy \
+  --tasks=stencil2d:8x8 --topology=torus:8x8 --seed=7 --iterations=30 \
+  --report="$OBS_TMP/contention.json" --trace="$OBS_TMP/explain_trace.json" \
+  --stats="$OBS_TMP/explain_stats.json" >/dev/null
+python3 scripts/check_trace.py --contention "$OBS_TMP/contention.json"
+python3 scripts/check_trace.py --trace "$OBS_TMP/explain_trace.json" \
+  --require-counter-track netsim/util_max \
+  --require-counter-track netsim/queue_depth \
+  --stats "$OBS_TMP/explain_stats.json" \
+  --require-any-series netsim/util_max \
+  --require-any-series netsim/queue_depth
 echo "obs slice ok: artifacts validate, mapping identical to release build"
 
 echo "=== sanitize (ASan/UBSan): labeled slices ==="

@@ -112,4 +112,24 @@ if ! diff -q "$TMP/plain.map" "$TMP/obs.map" >/dev/null; then
 fi
 echo "ok: observability      --stats/--trace validate, mapping unchanged"
 
+# Contention explainability: an A-vs-B explain run must emit a schema-valid
+# contention report (exact attribution sums, a diff, a netsim timeline)
+# and name the improvement in its terminal diff.
+"$CLI" explain --strategy=topolb --baseline=greedy \
+  --tasks=stencil2d:8x8 --topology=torus:8x8 --seed=7 --iterations=20 \
+  --report="$TMP/contention.json" | tee "$TMP/explain.log" >/dev/null
+python3 scripts/check_trace.py --contention "$TMP/contention.json"
+grep -q 'hottest links:' "$TMP/explain.log"
+grep -Eq 'mapping diff: *max link [0-9]+' "$TMP/explain.log"
+# The instrumented build must put netsim counter tracks in the trace.
+"$OBS_CLI" explain --strategy=topolb --tasks=stencil2d:8x8 \
+  --topology=torus:8x8 --seed=7 --iterations=20 \
+  --report="$TMP/obs_contention.json" --trace="$TMP/explain_trace.json" \
+  >/dev/null
+python3 scripts/check_trace.py --contention "$TMP/obs_contention.json"
+python3 scripts/check_trace.py --trace "$TMP/explain_trace.json" \
+  --require-counter-track netsim/util_max \
+  --require-counter-track netsim/queue_depth
+echo "ok: explain            A-vs-B diff, contention report, counter tracks"
+
 echo "smoke test passed"

@@ -29,6 +29,7 @@ class IterativeApp final : public SimulationClient {
     iter_complete_.assign(static_cast<std::size_t>(app.iterations), 0.0);
     iter_remaining_.assign(static_cast<std::size_t>(app.iterations),
                            g.num_vertices());
+    if (app.telemetry) net_.set_telemetry(app.telemetry_spec);
   }
 
   void degrade(const std::vector<DegradedLink>& degraded) {
@@ -50,6 +51,8 @@ class IterativeApp final : public SimulationClient {
     result.max_link_busy_us = net_.max_link_busy_us();
     result.mean_link_busy_us = net_.mean_link_busy_us();
     result.iteration_complete_us = iter_complete_;
+    result.link_flows = net_.link_flows();
+    if (app_.telemetry) result.telemetry = net_.telemetry_snapshot();
     for (int remaining : iter_remaining_)
       TOPOMAP_ASSERT(remaining == 0, "iteration left unfinished tasks");
     // Every task must have finished every iteration, and nothing may be in

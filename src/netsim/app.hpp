@@ -27,6 +27,9 @@ struct AppParams {
   double compute_us = 10.0;
   /// When true, a task's compute time is compute_us * vertex_weight.
   bool scale_compute_by_weight = false;
+  /// Switch on the network's time-resolved telemetry (AppResult::telemetry).
+  bool telemetry = false;
+  TelemetrySpec telemetry_spec;
 };
 
 /// A degraded physical link for failure-injection runs.
@@ -49,6 +52,10 @@ struct AppResult {
   /// handed its messages to the NIC for) iteration k.  Non-decreasing;
   /// useful for spotting congestion-induced slowdown over time.
   std::vector<double> iteration_complete_us;
+  /// Payload bytes the simulator pushed over each link (always recorded).
+  std::vector<LinkFlow> link_flows;
+  /// Time-resolved sampling product; empty unless AppParams::telemetry.
+  TelemetrySnapshot telemetry;
 };
 
 /// Simulate the iterative application.  Requires a one-to-one mapping.

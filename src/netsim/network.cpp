@@ -40,15 +40,20 @@ Network::Network(const topo::Topology& topo, NetworkParams params,
   // Link id = link_offset_[u] + original neighbour slot.
   neighbor_of_link_.assign(
       static_cast<std::size_t>(link_offset_[static_cast<std::size_t>(n)]), -1);
+  node_of_link_.assign(neighbor_of_link_.size(), -1);
   for (int u = 0; u < n; ++u) {
     const auto& sorted = nbr_sorted_[static_cast<std::size_t>(u)];
     const auto& slots = nbr_slot_[static_cast<std::size_t>(u)];
-    for (std::size_t i = 0; i < sorted.size(); ++i)
-      neighbor_of_link_[static_cast<std::size_t>(
-          link_offset_[static_cast<std::size_t>(u)] + slots[i])] = sorted[i];
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const auto link = static_cast<std::size_t>(
+          link_offset_[static_cast<std::size_t>(u)] + slots[i]);
+      neighbor_of_link_[link] = sorted[i];
+      node_of_link_[link] = u;
+    }
   }
   link_free_.assign(neighbor_of_link_.size(), 0.0);
   link_busy_.assign(neighbor_of_link_.size(), 0.0);
+  link_bytes_.assign(neighbor_of_link_.size(), 0.0);
   link_slowdown_.assign(neighbor_of_link_.size(), 1.0);
   // Service rates come from the topology's own link health: a machine
   // described by a soft-faulted topo::FaultOverlay serialises messages
@@ -136,11 +141,44 @@ void Network::schedule_app(SimTime time, std::uint64_t payload) {
   queue_.push(time, Event::Kind::kApp, payload);
 }
 
-SimTime Network::reserve(int link, SimTime earliest, SimTime duration) {
+void Network::set_telemetry(const TelemetrySpec& spec) {
+  TOPOMAP_REQUIRE(spec.sample_interval_us > 0.0,
+                  "telemetry sample interval must be positive");
+  TOPOMAP_REQUIRE(
+      spec.saturation_threshold > 0.0 && spec.saturation_threshold <= 1.0,
+      "saturation threshold must be in (0, 1]");
+  telemetry_on_ = true;
+  telemetry_ = spec;
+  bin_busy_us_.assign(link_free_.size(), {});
+}
+
+void Network::bin_busy(int link, SimTime start, SimTime duration) {
+  // Split [start, start+duration) across the fixed sampling windows.  One
+  // FIFO link's reservations never overlap, so summing the pieces per
+  // window gives its exact busy time there.
+  auto& bins = bin_busy_us_[static_cast<std::size_t>(link)];
+  const double w = telemetry_.sample_interval_us;
+  SimTime t = start;
+  double remaining = duration;
+  while (remaining > 0.0) {
+    const auto bin = static_cast<std::size_t>(t / w);
+    if (bins.size() <= bin) bins.resize(bin + 1, 0.0);
+    const double take = std::min(remaining, (static_cast<double>(bin) + 1.0) * w - t);
+    if (take <= 0.0) break;  // FP guard at a window boundary
+    bins[bin] += take;
+    t += take;
+    remaining -= take;
+  }
+}
+
+SimTime Network::reserve(int link, SimTime earliest, SimTime duration,
+                         double bytes) {
   const auto idx = static_cast<std::size_t>(link);
   const SimTime start = std::max(earliest, link_free_[idx]);
   link_free_[idx] = start + duration;
   link_busy_[idx] += duration;
+  link_bytes_[idx] += bytes;
+  if (telemetry_on_) bin_busy(link, start, duration);
   return start;
 }
 
@@ -195,7 +233,7 @@ void Network::handle_hop(const Event& e) {
   if (model_ == ServiceModel::kWormhole) {
     const double serialization =
         state.msg.bytes / params_.bandwidth * slowdown;
-    const SimTime start = reserve(link, e.time, serialization);
+    const SimTime start = reserve(link, e.time, serialization, state.msg.bytes);
     const SimTime head_next = start + params_.per_hop_latency_us;
     if (!last_hop) {
       queue_.push(head_next, Event::Kind::kHop, e.id, e.hop + 1, 0);
@@ -212,7 +250,7 @@ void Network::handle_hop(const Event& e) {
       state.msg.bytes - full * static_cast<double>(state.packets - 1);
   const double pkt_bytes = (e.sub + 1 == state.packets) ? last_pkt_bytes : full;
   const double serialization = pkt_bytes / params_.bandwidth * slowdown;
-  const SimTime start = reserve(link, e.time, serialization);
+  const SimTime start = reserve(link, e.time, serialization, pkt_bytes);
   const SimTime arrival = start + serialization + params_.per_hop_latency_us;
   if (!last_hop) {
     queue_.push(arrival, Event::Kind::kHop, e.id, e.hop + 1, e.sub);
@@ -245,6 +283,15 @@ SimTime Network::run_until_idle() {
     const Event e = queue_.pop();
     TOPOMAP_ASSERT(e.time + 1e-9 >= now_, "event time went backwards");
     now_ = std::max(now_, e.time);
+    if (telemetry_on_) {
+      // Per-window maximum of the event-queue depth, observed as events
+      // are processed (the queue is the simulator's in-flight backlog).
+      const auto bin = static_cast<std::size_t>(
+          now_ / telemetry_.sample_interval_us);
+      if (bin_queue_max_.size() <= bin) bin_queue_max_.resize(bin + 1, 0.0);
+      bin_queue_max_[bin] =
+          std::max(bin_queue_max_[bin], static_cast<double>(queue_.size()));
+    }
     switch (e.kind) {
       case Event::Kind::kHop:
         handle_hop(e);
@@ -263,7 +310,88 @@ SimTime Network::run_until_idle() {
     OBS_VALUE("netsim/link_busy_us_max", max_link_busy_us());
     OBS_VALUE("netsim/link_busy_us_mean", mean_link_busy_us());
   })
+  if (telemetry_on_ && obs::enabled()) publish_telemetry();
   return now_;
+}
+
+TelemetrySnapshot Network::telemetry_snapshot() const {
+  TelemetrySnapshot snap;
+  if (!telemetry_on_) return snap;
+  const double w = telemetry_.sample_interval_us;
+  snap.sample_interval_us = w;
+
+  std::size_t windows = bin_queue_max_.size();
+  for (const auto& bins : bin_busy_us_) windows = std::max(windows, bins.size());
+  snap.t_us.reserve(windows);
+  snap.util_max.reserve(windows);
+  snap.queue_depth.reserve(windows);
+  for (std::size_t b = 0; b < windows; ++b) {
+    double util = 0.0;
+    for (const auto& bins : bin_busy_us_)
+      if (b < bins.size()) util = std::max(util, bins[b] / w);
+    snap.t_us.push_back((static_cast<double>(b) + 1.0) * w);
+    snap.util_max.push_back(util);
+    snap.queue_depth.push_back(b < bin_queue_max_.size() ? bin_queue_max_[b]
+                                                         : 0.0);
+  }
+
+  for (std::size_t l = 0; l < link_bytes_.size(); ++l) {
+    if (link_bytes_[l] <= 0.0) continue;
+    LinkTelemetry lt;
+    lt.from = node_of_link_[l];
+    lt.to = neighbor_of_link_[l];
+    lt.bytes = link_bytes_[l];
+    lt.busy_us = link_busy_[l];
+    const auto& bins = bin_busy_us_[l];
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      const double util = bins[b] / w;
+      if (util > lt.peak_util) {
+        lt.peak_util = util;
+        lt.time_to_peak_us = (static_cast<double>(b) + 1.0) * w;
+      }
+      if (util >= telemetry_.saturation_threshold) lt.saturated_us += w;
+    }
+    snap.links.push_back(lt);
+  }
+  std::sort(snap.links.begin(), snap.links.end(),
+            [](const LinkTelemetry& x, const LinkTelemetry& y) {
+              if (x.bytes != y.bytes) return x.bytes > y.bytes;
+              if (x.from != y.from) return x.from < y.from;
+              return x.to < y.to;
+            });
+  return snap;
+}
+
+std::vector<LinkFlow> Network::link_flows() const {
+  std::vector<LinkFlow> flows;
+  for (std::size_t l = 0; l < link_bytes_.size(); ++l)
+    if (link_bytes_[l] > 0.0)
+      flows.push_back(LinkFlow{node_of_link_[l], neighbor_of_link_[l],
+                               link_bytes_[l], link_busy_[l]});
+  std::sort(flows.begin(), flows.end(),
+            [](const LinkFlow& x, const LinkFlow& y) {
+              if (x.from != y.from) return x.from < y.from;
+              return x.to < y.to;
+            });
+  return flows;
+}
+
+void Network::publish_telemetry() const {
+  const TelemetrySnapshot snap = telemetry_snapshot();
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  for (std::size_t b = 0; b < snap.t_us.size(); ++b) {
+    reg.append_series("netsim/util_max", snap.util_max[b]);
+    reg.append_series("netsim/queue_depth", snap.queue_depth[b]);
+    tracer.record_counter("netsim/util_max", snap.t_us[b], snap.util_max[b]);
+    tracer.record_counter("netsim/queue_depth", snap.t_us[b],
+                          snap.queue_depth[b]);
+  }
+  for (const LinkTelemetry& lt : snap.links) {
+    reg.record("netsim/link_peak_util", lt.peak_util);
+    reg.record("netsim/link_time_to_peak_us", lt.time_to_peak_us);
+    reg.record("netsim/link_saturated_us", lt.saturated_us);
+  }
 }
 
 double Network::max_link_busy_us() const {

@@ -63,6 +63,50 @@ struct NetworkParams {
 
 enum class ServiceModel { kWormhole, kStoreForward };
 
+/// Configuration for time-resolved telemetry (set_telemetry).  Sampling
+/// works on a fixed *virtual-time* grid: link busy time is binned into
+/// consecutive sample_interval_us windows as reservations are made, so a
+/// window's per-link utilization is exact (reservations on one FIFO link
+/// never overlap), not an end-of-run average.
+struct TelemetrySpec {
+  double sample_interval_us = 100.0;
+  /// A window with utilization >= this counts toward a link's saturation
+  /// duration.
+  double saturation_threshold = 0.95;
+};
+
+/// Time-resolved per-link summary, derived from the sampling grid.
+struct LinkTelemetry {
+  int from = 0;
+  int to = 0;
+  double bytes = 0.0;            ///< payload bytes pushed over the link
+  double busy_us = 0.0;          ///< total busy (serialisation) time
+  double peak_util = 0.0;        ///< hottest sampling window's utilization
+  double time_to_peak_us = 0.0;  ///< end of the first window hitting peak
+  double saturated_us = 0.0;     ///< time spent in windows above threshold
+};
+
+/// One payload-byte flow summary per link (always recorded, no telemetry
+/// needed): what the simulator *actually* pushed, for cross-checking
+/// against core::link_loads' routed predictions.
+struct LinkFlow {
+  int from = 0;
+  int to = 0;
+  double bytes = 0.0;
+  double busy_us = 0.0;
+};
+
+/// Everything the sampling grid produced: parallel per-window arrays (the
+/// busiest-link timeline) plus the per-link summaries, links with traffic
+/// only, sorted by descending bytes (ties: ascending (from, to)).
+struct TelemetrySnapshot {
+  double sample_interval_us = 0.0;
+  std::vector<double> t_us;         ///< window end times, ascending
+  std::vector<double> util_max;     ///< busiest link's utilization per window
+  std::vector<double> queue_depth;  ///< max event-queue depth per window
+  std::vector<LinkTelemetry> links;
+};
+
 struct Message {
   int src_node = 0;
   int dst_node = 0;
@@ -110,6 +154,23 @@ class Network {
   /// Schedule an application callback (client->on_app_event).
   void schedule_app(SimTime time, std::uint64_t payload);
 
+  /// Switch on time-resolved telemetry (before any traffic is injected).
+  /// Purely observational: event order, reservations, and every statistic
+  /// above are identical with telemetry on or off.  When obs recording is
+  /// also on (obs::enabled()), run_until_idle() publishes the busiest-link
+  /// and queue-depth timelines as obs::Registry series
+  /// ("netsim/util_max", "netsim/queue_depth") and obs::Tracer counter
+  /// tracks, so --trace renders them in Perfetto next to the phase spans.
+  void set_telemetry(const TelemetrySpec& spec);
+
+  /// The sampling grid's product (empty snapshot when telemetry was never
+  /// enabled).  Call after run_until_idle().
+  TelemetrySnapshot telemetry_snapshot() const;
+
+  /// Payload bytes actually pushed over each link (links with traffic
+  /// only, ascending (from, to)).  Always tracked — no telemetry needed.
+  std::vector<LinkFlow> link_flows() const;
+
   /// Process events until the queue drains; returns the time of the last
   /// processed event (the completion time).
   SimTime run_until_idle();
@@ -145,8 +206,13 @@ class Network {
   void handle_hop(const Event& e);
   void deliver(SimTime time, std::uint64_t id);
   /// Reserve `link` for `duration` starting no earlier than `earliest`;
-  /// returns the actual start time.
-  SimTime reserve(int link, SimTime earliest, SimTime duration);
+  /// returns the actual start time.  `bytes` is the payload crossing the
+  /// link during this reservation (serialisation accounting).
+  SimTime reserve(int link, SimTime earliest, SimTime duration, double bytes);
+  /// Bin a reservation's busy time onto the telemetry sampling grid.
+  void bin_busy(int link, SimTime start, SimTime duration);
+  /// Publish the snapshot's series into obs:: (registry + tracer counters).
+  void publish_telemetry() const;
   /// Adaptive next hop out of `cur` toward `dst`: the minimal-direction
   /// link that frees earliest.  Returns the link id; throws if no
   /// neighbour reduces the distance (inconsistent topology).
@@ -167,7 +233,15 @@ class Network {
   std::vector<std::vector<int>> nbr_slot_;  // matching link slot per entry
   std::vector<SimTime> link_free_;          // next time each link is free
   std::vector<double> link_busy_;           // accumulated busy time
+  std::vector<double> link_bytes_;          // accumulated payload bytes
   std::vector<double> link_slowdown_;       // serialisation multiplier (>= 1)
+  std::vector<int> node_of_link_;           // link id -> source node
+
+  // Time-resolved telemetry (inert unless set_telemetry() was called).
+  bool telemetry_on_ = false;
+  TelemetrySpec telemetry_;
+  std::vector<std::vector<double>> bin_busy_us_;  // [link][window]
+  std::vector<double> bin_queue_max_;             // [window]
 
   std::vector<MessageState> messages_;
   std::vector<std::uint64_t> free_slots_;  ///< recycled MessageState slots

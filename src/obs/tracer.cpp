@@ -20,6 +20,7 @@ struct Tracer::Impl {
   std::mutex mu;
   std::vector<Buffer*> buffers;
   std::vector<SpanRecord> retired;
+  std::vector<CounterRecord> counters;
   int next_tid = 0;
 };
 
@@ -85,6 +86,18 @@ void Tracer::record(const char* name, std::uint64_t start_ns,
   b.spans.push_back(SpanRecord{name, start_ns, dur_ns, depth, b.tid});
 }
 
+void Tracer::record_counter(const char* name, double ts_us, double value) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  im->counters.push_back(CounterRecord{name, ts_us, value});
+}
+
+std::vector<CounterRecord> Tracer::counters() const {
+  Impl* im = const_cast<Tracer*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  return im->counters;
+}
+
 std::vector<SpanRecord> Tracer::spans() const {
   Impl* im = const_cast<Tracer*>(this)->impl();
   std::lock_guard<std::mutex> lock(im->mu);
@@ -121,6 +134,20 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     e.set("tid", s.tid);
     events.push_back(std::move(e));
   }
+  // Counter tracks go on their own pid: their timestamps are the
+  // producer's clock (netsim: virtual time), not the span wall clock.
+  for (const CounterRecord& c : counters()) {
+    json::Value e = json::Value::object();
+    e.set("name", c.name);
+    e.set("ph", "C");
+    e.set("ts", c.ts_us);
+    e.set("pid", 2);
+    e.set("tid", 0);
+    json::Value args = json::Value::object();
+    args.set("value", c.value);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
   os << events.dump() << "\n";
 }
 
@@ -152,6 +179,7 @@ void Tracer::reset() {
   Impl* im = impl();
   std::lock_guard<std::mutex> lock(im->mu);
   im->retired.clear();
+  im->counters.clear();
   for (Buffer* buffer : im->buffers) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     buffer->spans.clear();

@@ -11,11 +11,20 @@
 // measures, and (like all obs recording) it only observes: mapping results
 // are byte-identical with tracing on or off.
 //
+// Counter tracks: alongside spans, the tracer records named *counter*
+// samples (record_counter) — time-stamped values such as the network
+// simulator's per-interval busiest-link utilization.  Counter timestamps
+// live on a separate clock domain (netsim samples carry *virtual*
+// microseconds), so the exporter puts them on their own pid and Perfetto
+// renders them as counter tracks next to — not interleaved with — the
+// wall-clock phase spans.
+//
 // Exports:
 //  * write_chrome_trace() — the chrome://tracing / Perfetto "JSON array of
 //    complete events" format: one {"name","ph":"X","ts","dur","pid","tid"}
-//    object per span, ts/dur in microseconds.  Load the file in
-//    chrome://tracing or ui.perfetto.dev.
+//    object per span (ts/dur in microseconds) plus one
+//    {"name","ph":"C","ts","pid","args":{"value":v}} object per counter
+//    sample.  Load the file in chrome://tracing or ui.perfetto.dev.
 //  * rollup() — per-name Distribution of span durations (microseconds),
 //    the form obs::Report embeds.
 //  * summary() — an aligned text table of the rollup (count, total, mean,
@@ -40,6 +49,15 @@ struct SpanRecord {
   int tid = 0;    ///< recording thread's trace id (registration order)
 };
 
+/// One sample of a named counter track.  The timestamp is whatever clock
+/// the producer uses (netsim: virtual microseconds); samples of one name
+/// must be appended in non-decreasing timestamp order by a single thread.
+struct CounterRecord {
+  std::string name;
+  double ts_us = 0.0;
+  double value = 0.0;
+};
+
 class Tracer {
  public:
   static Tracer& instance();
@@ -50,6 +68,13 @@ class Tracer {
 
   /// All completed spans, sorted by (start_ns, tid, depth).
   std::vector<SpanRecord> spans() const;
+
+  /// Append one counter sample (single producer per name, sequential
+  /// drivers only — netsim's sampling loop, not the parallel kernels).
+  void record_counter(const char* name, double ts_us, double value);
+
+  /// All counter samples, in recording order.
+  std::vector<CounterRecord> counters() const;
 
   /// Per-name duration distributions in microseconds.
   std::map<std::string, Distribution> rollup() const;

@@ -3,15 +3,18 @@
 //   obs_diff A.json B.json [--all] [--tolerance=R]
 //
 // Prints per-counter deltas (B - A), span-rollup total/mean shifts, and
-// meta/series differences, so two runs (before/after an optimisation, two
-// strategies, two thread counts) can be compared without spreadsheet work.
-// By default only changed entries print; --all prints every common entry
-// too.  --tolerance=R (default 0) treats relative span-time changes within
-// R as unchanged — wall-clock jitter, not signal.
+// meta/series/table differences, so two runs (before/after an
+// optimisation, two strategies, two thread counts) can be compared without
+// spreadsheet work.  Series compare element-wise (the first diverging
+// point is named — a length+final-value check would miss interior
+// changes); tables compare by column set and row count.  By default only
+// changed entries print; --all prints every common entry too.
+// --tolerance=R (default 0) treats relative span-time changes within R as
+// unchanged — wall-clock jitter, not signal.
 //
 // Exit status: 0 when the reports match (no differences outside tolerance;
-// span timings never affect the status), 1 when counters/meta/series
-// differ, 2 on usage or parse errors.
+// span timings never affect the status), 1 when counters/meta/series/
+// tables differ, 2 on usage or parse errors.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -157,7 +160,7 @@ int main(int argc, char** argv) {
         std::cout << "span    " << name << ": only in B\n";
     }
 
-    // --- series: length + final value ---
+    // --- series: element-wise (length + every value) ---
     const auto series_a = section(a, "series");
     const auto series_b = section(b, "series");
     for (const auto& [name, va] : series_a) {
@@ -169,23 +172,66 @@ int main(int argc, char** argv) {
       }
       const auto& xs = va.items();
       const auto& ys = it->second.items();
-      const double last_a = xs.empty() ? 0.0 : xs.back().as_number();
-      const double last_b = ys.empty() ? 0.0 : ys.back().as_number();
-      if (xs.size() == ys.size() && last_a == last_b) {
+      // First index where the series diverge (length mismatch counts from
+      // the shorter one's end).
+      std::size_t at = 0;
+      const std::size_t common = std::min(xs.size(), ys.size());
+      while (at < common && xs[at].as_number() == ys[at].as_number()) ++at;
+      if (at == common && xs.size() == ys.size()) {
         if (show_all)
           std::cout << "series  " << name << ": unchanged (" << xs.size()
-                    << " points, final " << fmt(last_a) << ")\n";
+                    << " points)\n";
         continue;
       }
       ++differences;
       std::cout << "series  " << name << ": " << xs.size() << " -> "
-                << ys.size() << " points, final " << fmt(last_a) << " -> "
-                << fmt(last_b) << "\n";
+                << ys.size() << " points";
+      if (at < common)
+        std::cout << ", first change at [" << at << "]: "
+                  << fmt(xs[at].as_number()) << " -> "
+                  << fmt(ys[at].as_number());
+      std::cout << "\n";
     }
     for (const auto& [name, vb] : series_b) {
       (void)vb;
       if (series_a.find(name) == series_a.end()) {
         std::cout << "series  " << name << ": only in B\n";
+        ++differences;
+      }
+    }
+
+    // --- tables: column sets + row counts (cell values carry benchmark
+    // payloads with wall-clock columns, so they stay out of the status) ---
+    const auto tables_a = section(a, "tables");
+    const auto tables_b = section(b, "tables");
+    for (const auto& [name, va] : tables_a) {
+      const auto it = tables_b.find(name);
+      if (it == tables_b.end()) {
+        std::cout << "table   " << name << ": only in A\n";
+        ++differences;
+        continue;
+      }
+      const std::string cols_a = va.at("columns").dump();
+      const std::string cols_b = it->second.at("columns").dump();
+      const std::size_t rows_a = va.at("rows").size();
+      const std::size_t rows_b = it->second.at("rows").size();
+      if (cols_a != cols_b) {
+        std::cout << "table   " << name << ": columns " << cols_a << " -> "
+                  << cols_b << "\n";
+        ++differences;
+      } else if (rows_a != rows_b) {
+        std::cout << "table   " << name << ": " << rows_a << " -> " << rows_b
+                  << " rows\n";
+        ++differences;
+      } else if (show_all) {
+        std::cout << "table   " << name << ": same columns, " << rows_a
+                  << " rows\n";
+      }
+    }
+    for (const auto& [name, vb] : tables_b) {
+      (void)vb;
+      if (tables_a.find(name) == tables_a.end()) {
+        std::cout << "table   " << name << ": only in B\n";
         ++differences;
       }
     }

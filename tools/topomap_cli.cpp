@@ -32,6 +32,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/contention.hpp"
 #include "core/fault_aware.hpp"
 #include "core/metrics.hpp"
 #include "graph/factory.hpp"
@@ -250,6 +251,262 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   return 0;
 }
 
+/// Write the schema-versioned contention artifact ("topomap.obs.contention"
+/// v1): per-link table with top-K contributors, optional busiest-link
+/// timeline, optional baseline stats + mapping diff.
+void write_contention_report(
+    const std::string& path, const obs::json::Value& meta,
+    const core::ContentionReport& attr, int top_k,
+    const netsim::AppResult* sim, const core::ContentionReport* baseline,
+    const std::string& baseline_name, const core::ContentionDiff* diff) {
+  obs::json::Value doc = obs::json::Value::object();
+  doc.set("schema", core::kContentionSchemaName);
+  doc.set("schema_version", core::kContentionSchemaVersion);
+  doc.set("meta", meta);
+  doc.set("stats", core::contention_stats_to_json(attr.stats));
+  doc.set("links", core::contention_links_to_json(attr, top_k));
+  if (sim != nullptr) {
+    const netsim::TelemetrySnapshot& snap = sim->telemetry;
+    obs::json::Value timeline = obs::json::Value::object();
+    timeline.set("sample_us", snap.sample_interval_us);
+    timeline.set("completion_us", sim->completion_us);
+    auto arr = [](const std::vector<double>& xs) {
+      obs::json::Value a = obs::json::Value::array();
+      for (double x : xs) a.push_back(x);
+      return a;
+    };
+    timeline.set("t_us", arr(snap.t_us));
+    timeline.set("util_max", arr(snap.util_max));
+    timeline.set("queue_depth", arr(snap.queue_depth));
+    obs::json::Value hot = obs::json::Value::array();
+    const std::size_t shown = std::min<std::size_t>(snap.links.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const netsim::LinkTelemetry& lt = snap.links[i];
+      obs::json::Value v = obs::json::Value::object();
+      v.set("from", lt.from);
+      v.set("to", lt.to);
+      v.set("bytes", lt.bytes);
+      v.set("busy_us", lt.busy_us);
+      v.set("peak_util", lt.peak_util);
+      v.set("time_to_peak_us", lt.time_to_peak_us);
+      v.set("saturated_us", lt.saturated_us);
+      hot.push_back(std::move(v));
+    }
+    timeline.set("hot_links", std::move(hot));
+    doc.set("timeline", std::move(timeline));
+  }
+  if (baseline != nullptr) {
+    obs::json::Value b = obs::json::Value::object();
+    b.set("strategy", baseline_name);
+    b.set("stats", core::contention_stats_to_json(baseline->stats));
+    doc.set("baseline", std::move(b));
+  }
+  if (diff != nullptr) {
+    obs::json::Value d = obs::json::Value::object();
+    d.set("links", core::contention_diff_to_json(*diff, top_k));
+    doc.set("diff", std::move(d));
+  }
+  std::ofstream os(path);
+  TOPOMAP_REQUIRE(os.good(),
+                  "explain: cannot open '" + path + "' for writing");
+  os << doc.dump(2) << "\n";
+  os.flush();
+  TOPOMAP_REQUIRE(os.good(), "explain: failed writing '" + path + "'");
+}
+
+int cmd_explain(int argc, const char* const* argv) {
+  CliParser cli(
+      "explain a mapping's link contention: per-link attribution, "
+      "busiest-link timeline, and (with --baseline) a mapping diff");
+  cli.add_option("tasks", "workload spec", "stencil2d:8x8");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("strategy", "mapping strategy to explain", "topolb");
+  cli.add_option("baseline", "baseline strategy to diff against", "");
+  cli.add_flag("baseline-blind",
+               "map the baseline on the pristine machine (ignore soft "
+               "faults) — reproduces health-blind placement");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("top-k", "contributing task pairs kept per link", "3");
+  cli.add_option("report", "write the topomap.obs.contention JSON here", "");
+  cli.add_option("iterations",
+                 "simulated app iterations for the timeline (0 = skip "
+                 "simulation)",
+                 "50");
+  cli.add_option("compute-us", "compute per task-iteration (us)", "10");
+  cli.add_option("bandwidth", "link bandwidth MB/s", "500");
+  cli.add_option("model", "wormhole | storeforward", "wormhole");
+  cli.add_option("sample-us", "telemetry sampling window (virtual us)",
+                 "100");
+  cli.add_option("output", "write 'task processor' lines here", "");
+  add_fault_options(cli);
+  add_obs_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  ObsOutputs obs_out;
+  obs_out.init(cli);
+
+  const int top_k = static_cast<int>(cli.integer("top-k"));
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const auto topo = topo::make_topology(cli.str("topology"));
+  const auto overlay = make_fault_overlay(cli, topo);
+  const topo::Topology& machine = overlay ? *overlay : *topo;
+  const auto strategy = core::make_strategy(cli.str("strategy"));
+
+  obs_out.report.set_meta("command", "explain");
+  obs_out.report.set_meta("workload", g.label());
+  obs_out.report.set_meta("machine", topo->name());
+  obs_out.report.set_meta("strategy", strategy->name());
+  obs_out.report.set_meta("seed", cli.str("seed"));
+
+  const std::string baseline_spec = cli.str("baseline");
+  const bool baseline_blind = cli.flag("baseline-blind");
+  if (baseline_blind && baseline_spec.empty()) {
+    std::cerr << "error: --baseline-blind needs --baseline=<strategy>\n";
+    return 1;
+  }
+  if (baseline_blind && overlay &&
+      (overlay->num_failed_nodes() > 0 || overlay->num_failed_links() > 0)) {
+    std::cerr << "error: --baseline-blind supports soft faults only (a "
+                 "blind mapping may land on failed processors)\n";
+    return 1;
+  }
+
+  core::Mapping m;
+  core::Mapping baseline_m;
+  {
+    obs::ScopedSpan root_span("cli/explain");
+    if (overlay) {
+      m = core::map_on_alive(*strategy, g, *overlay, rng);
+    } else {
+      if (g.num_vertices() != topo->size()) {
+        std::cerr << "error: workload has " << g.num_vertices()
+                  << " tasks but the machine has " << topo->size()
+                  << " processors; use `topomap pipeline` when tasks > "
+                     "procs\n";
+        return 1;
+      }
+      m = strategy->map(g, *topo, rng);
+    }
+    if (!baseline_spec.empty()) {
+      const auto baseline_strategy = core::make_strategy(baseline_spec);
+      Rng baseline_rng(static_cast<std::uint64_t>(cli.integer("seed")));
+      if (overlay && !baseline_blind) {
+        baseline_m =
+            core::map_on_alive(*baseline_strategy, g, *overlay, baseline_rng);
+      } else {
+        // Blind (or no faults): the baseline maps on the pristine machine
+        // but is *evaluated* on the actual (possibly degraded) one.
+        topo::FaultOverlay healthy(topo);
+        baseline_m =
+            core::map_on_alive(*baseline_strategy, g, healthy, baseline_rng);
+      }
+    }
+  }
+
+  std::cout << "workload:       " << g.label() << " (" << g.num_edges()
+            << " edges, " << g.total_comm_bytes() << " B/iter)\n"
+            << "machine:        " << topo->name() << "\n";
+  if (overlay) print_fault_summary(*overlay);
+  std::cout << "strategy:       " << strategy->name() << "\n";
+
+  core::ContentionReport attr;
+  try {
+    attr = core::attribute_link_loads(g, machine, m);
+  } catch (const precondition_error& e) {
+    std::cerr << "error: this machine has no processor-level routes to "
+                 "attribute ("
+              << e.what() << ")\n";
+    return 1;
+  }
+  const double hb = core::hop_bytes(g, machine, m);
+  obs_out.meta("hop_bytes", hb);
+  std::cout << "hop-bytes:      " << hb;
+  if (hb == attr.stats.total_bytes) {
+    std::cout << " (per-link totals sum to it exactly)\n";
+  } else {
+    // Soft-fault overlays weight hop-bytes by link health; the attribution
+    // counts physical bytes crossing each link.
+    std::cout << " (health-weighted; physical routed bytes "
+              << attr.stats.total_bytes << ")\n";
+  }
+  std::cout << core::render_contention_summary(attr, 5, top_k);
+
+  // Busiest-link timeline from the simulator's sampling grid.
+  netsim::AppResult sim;
+  bool simulated = false;
+  const int iterations = static_cast<int>(cli.integer("iterations"));
+  if (iterations > 0) {
+    netsim::AppParams app;
+    app.iterations = iterations;
+    app.compute_us = cli.real("compute-us");
+    app.telemetry = true;
+    app.telemetry_spec.sample_interval_us = cli.real("sample-us");
+    netsim::NetworkParams net;
+    net.bandwidth = cli.real("bandwidth");
+    const std::string model_str = cli.str("model");
+    const netsim::ServiceModel model =
+        model_str == "storeforward" ? netsim::ServiceModel::kStoreForward
+                                    : netsim::ServiceModel::kWormhole;
+    sim = netsim::run_iterative_app(g, machine, m, app, net, model);
+    simulated = true;
+    obs_out.meta("completion_us", sim.completion_us);
+    const netsim::TelemetrySnapshot& snap = sim.telemetry;
+    std::cout << "timeline:       " << snap.t_us.size() << " windows of "
+              << snap.sample_interval_us << " us over " << iterations
+              << " iterations (completion " << sim.completion_us / 1000.0
+              << " ms)\n";
+    if (!snap.links.empty()) {
+      const netsim::LinkTelemetry& hot = snap.links.front();
+      std::cout << "busiest link:   (" << hot.from << "," << hot.to << ") "
+                << hot.bytes << " B, peak util "
+                << format_fixed(hot.peak_util, 2) << " at "
+                << hot.time_to_peak_us << " us, saturated "
+                << hot.saturated_us << " us\n";
+    }
+  }
+
+  // Baseline attribution + diff: baseline is side A, the explained
+  // strategy side B, so "8000 -> 1000" reads as the improvement.
+  core::ContentionReport baseline_attr;
+  core::ContentionDiff diff;
+  const bool diffed = !baseline_spec.empty();
+  if (diffed) {
+    baseline_attr = core::attribute_link_loads(g, machine, baseline_m);
+    diff = core::diff_contention(baseline_attr, attr);
+    std::cout << "baseline:       " << baseline_spec
+              << (baseline_blind ? " (blind: mapped on pristine machine)"
+                                 : "")
+              << ", routed bytes " << baseline_attr.stats.total_bytes << "\n"
+              << core::render_contention_diff(diff, 5, top_k);
+  }
+
+  if (const std::string report_path = cli.str("report");
+      !report_path.empty()) {
+    obs::json::Value meta = obs::json::Value::object();
+    meta.set("command", "explain");
+    meta.set("workload", g.label());
+    meta.set("machine", topo->name());
+    meta.set("strategy", strategy->name());
+    meta.set("seed", cli.str("seed"));
+    meta.set("top_k", top_k);
+    meta.set("hop_bytes", hb);
+    if (diffed) meta.set("baseline", baseline_spec);
+    write_contention_report(report_path, meta, attr, top_k,
+                            simulated ? &sim : nullptr,
+                            diffed ? &baseline_attr : nullptr, baseline_spec,
+                            diffed ? &diff : nullptr);
+    std::cout << "report written to " << report_path << "\n";
+  }
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os(out);
+    rts::write_rank_mapping(os, m);
+    std::cout << "mapping written to " << out << "\n";
+  }
+  obs_out.finish();
+  return 0;
+}
+
 int cmd_partition(int argc, const char* const* argv) {
   CliParser cli("partition a workload into balanced groups");
   cli.add_option("tasks", "workload spec", "md:6x6x5");
@@ -411,7 +668,8 @@ void usage() {
       "  simulate   map + discrete-event execution on the machine\n"
       "  partition  split a workload into balanced groups\n"
       "  pipeline   partition + map (more objects than processors)\n"
-      "  evacuate   map, inject faults, migrate only stranded tasks\n";
+      "  evacuate   map, inject faults, migrate only stranded tasks\n"
+      "  explain    per-link contention attribution, timeline, and diff\n";
 }
 
 }  // namespace
@@ -431,6 +689,7 @@ int main(int argc, char** argv) {
     if (command == "partition") return cmd_partition(sub_argc, sub_argv);
     if (command == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
     if (command == "evacuate") return cmd_evacuate(sub_argc, sub_argv);
+    if (command == "explain") return cmd_explain(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       usage();
       return 0;
