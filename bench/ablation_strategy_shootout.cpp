@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     for (const char* spec :
          {"random", "greedy", "topocent", "topolb1", "topolb", "topolb3",
           "recursive", "anneal", "topolb+refine", "topolb+linkrefine",
-          "recursive+refine", "anneal-warm"}) {
+          "recursive+refine", "anneal-warm", "hier", "hier+refine"}) {
       Rng rng(seed);
       const auto strategy = core::make_strategy(spec);
       double hpb = 0.0;

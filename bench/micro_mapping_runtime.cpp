@@ -17,6 +17,7 @@
 #include "core/strategy.hpp"
 #include "graph/builders.hpp"
 #include "graph/synthetic_md.hpp"
+#include "partition/multilevel.hpp"
 #include "partition/partition.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -183,6 +184,62 @@ void BM_MultilevelPartition_Md(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultilevelPartition_Md)->Arg(8)->Arg(32)->Arg(128);
+
+// --- hierarchical scale path (HierTopoLB) ---------------------------------
+// Oversubscribed 3-D stencils, 8 tasks per processor: runtime should grow
+// roughly linearly in tasks (the coarsen/uncoarsen stages dominate), far
+// below flat TopoLB's O(n^2) curve at the same vertex counts.
+
+void BM_HierTopoLB_Oversubscribed(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_3d(2 * side, 2 * side, 2 * side, 1.0);
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side, side});
+  const auto strategy = core::make_strategy("hier");
+  Rng rng(1);
+  for (auto _ : state) {
+    auto m = strategy->map(g, torus, rng);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetComplexityN(8 * side * side * side);
+}
+BENCHMARK(BM_HierTopoLB_Oversubscribed)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Complexity(benchmark::oN);
+
+void BM_HierTopoLB_Threads(benchmark::State& state) {
+  support::set_num_threads(static_cast<int>(state.range(1)));
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_3d(2 * side, 2 * side, 2 * side, 1.0);
+  const topo::TorusMesh torus = topo::TorusMesh::torus({side, side, side});
+  const auto strategy = core::make_strategy("hier");
+  Rng rng(1);
+  for (auto _ : state) {
+    auto m = strategy->map(g, torus, rng);
+    benchmark::DoNotOptimize(m.data());
+  }
+  support::set_num_threads(1);
+}
+BENCHMARK(BM_HierTopoLB_Threads)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4});
+
+void BM_TaskCoarsenOnce(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = graph::stencil_3d(side, side, side, 1.0);
+  for (auto _ : state) {
+    Rng rng(2);
+    part::CoarseLevel level;
+    const bool ok = part::coarsen_once(g, 1e18, rng, &level);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(side * side * side);
+}
+BENCHMARK(BM_TaskCoarsenOnce)->Arg(16)->Arg(32)->Arg(48)->Complexity(
+    benchmark::oN);
 
 void BM_HopBytesEvaluation(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));

@@ -61,7 +61,7 @@ echo "obs slice ok: artifacts validate, mapping identical to release build"
 echo "=== sanitize (ASan/UBSan): labeled slices ==="
 cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
 cmake --build build-ci-sanitize -j "$JOBS"
-for label in unit property fault; do
+for label in unit property fault hier; do
   echo "--- ctest -L $label ---"
   ctest --test-dir build-ci-sanitize --output-on-failure -j "$JOBS" -L "$label"
 done

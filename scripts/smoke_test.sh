@@ -38,6 +38,30 @@ do
   echo "ok: thread-invariant  $spec"
 done
 
+# Hier scale path: a 100k-task graph must map onto a 4096-proc torus well
+# inside the timeout, produce a complete in-range many-to-one mapping, and
+# stay byte-identical across worker-pool widths.
+HIER_SPEC="--strategy=hier --tasks=stencil3d:50x50x40 --topology=torus:16x16x16"
+# shellcheck disable=SC2086
+TOPOMAP_THREADS=1 timeout 300 "$CLI" map $HIER_SPEC --seed=7 \
+  --output="$TMP/hier1.map" | tee "$TMP/hier.log" >/dev/null
+# shellcheck disable=SC2086
+TOPOMAP_THREADS=2 timeout 300 "$CLI" map $HIER_SPEC --seed=7 \
+  --output="$TMP/hier2.map" >/dev/null
+if ! diff -q "$TMP/hier1.map" "$TMP/hier2.map" >/dev/null; then
+  echo "FAIL: hier mapping differs between 1 and 2 workers" >&2
+  exit 1
+fi
+awk '
+  NF == 2 {
+    count++
+    if ($2 < 0 || $2 >= 4096) { print "task " $1 " on bad proc " $2; exit 1 }
+  }
+  END { if (count != 100000) { print "expected 100000 lines, got " count; exit 1 } }
+' "$TMP/hier1.map"
+grep -Eq 'hop-bytes: *[0-9]+' "$TMP/hier.log"
+echo "ok: hier scale         100k tasks -> torus:16x16x16, thread-invariant"
+
 # Fault injection end-to-end: map around failed links/nodes, then evacuate
 # stranded tasks after processor deaths.  Both must produce valid mappings
 # (every task on a distinct alive processor) and finite hop-bytes.

@@ -1,6 +1,7 @@
 #include "core/annealing_lb.hpp"
 #include "core/baseline_lb.hpp"
 #include "core/cache_handle.hpp"
+#include "core/hier_topo_lb.hpp"
 #include "core/link_refine.hpp"
 #include "core/recursive_map.hpp"
 #include "core/refine_topo_lb.hpp"
@@ -28,6 +29,16 @@ bool consume_suffix(std::string& spec, std::string_view suffix) {
 StrategyPtr make_with_handle(const std::string& spec_in, DistanceMode mode,
                              const CacheHandlePtr& cache) {
   std::string spec = spec_in;
+  // "hier+refine" must not fall into the generic RefinedStrategy wrapper:
+  // refine_mapping requires a one-to-one mapping, and hier accepts n > p.
+  // HierTopoLB owns its final refinement stage instead.
+  if (spec == "hier")
+    return std::make_shared<HierTopoLB>(HierOptions{}, mode, cache);
+  if (spec == "hier+refine") {
+    HierOptions options;
+    options.final_refine = true;
+    return std::make_shared<HierTopoLB>(options, mode, cache);
+  }
   if (consume_suffix(spec, "+linkrefine"))
     return std::make_shared<LinkRefinedStrategy>(
         make_with_handle(spec, mode, cache));

@@ -35,11 +35,17 @@ class MappingStrategy {
   virtual ~MappingStrategy() = default;
 
   /// Produce a complete one-to-one mapping.  Requires
-  /// g.num_vertices() == topo.size() (throws precondition_error otherwise).
+  /// g.num_vertices() == topo.size() (throws precondition_error otherwise)
+  /// unless supports_oversubscription() — then any n >= p is accepted and
+  /// the result is a balanced many-to-one mapping (bijective at n == p).
   virtual Mapping map(const graph::TaskGraph& g, const topo::Topology& topo,
                       Rng& rng) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// True for strategies that map more tasks than processors themselves
+  /// (HierTopoLB); the CLI uses this to skip the tasks == procs check.
+  virtual bool supports_oversubscription() const { return false; }
 
  protected:
   static void require_square(const graph::TaskGraph& g,
@@ -56,6 +62,11 @@ using StrategyPtr = std::shared_ptr<const MappingStrategy>;
 ///   "topolb1"            TopoLB, first-order estimation
 ///   "topolb3"            TopoLB, third-order estimation
 ///   "recursive"          recursive dual-bisection mapper (extension)
+///   "hier"               multilevel coarsen/map/uncoarsen (HierTopoLB);
+///                        accepts n >= p and scales to million-task graphs
+///   "hier+refine"        HierTopoLB with a final refinement stage (full
+///                        RefineTopoLB when square, extra bounded passes
+///                        otherwise)
 ///   "anneal"             simulated annealing from a random start
 ///   "anneal-warm"        simulated annealing warm-started from TopoLB
 ///   "<base>+refine"      any of the above followed by RefineTopoLB

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -14,8 +15,12 @@ TaskGraph stencil_2d(int nx, int ny, double bytes, bool periodic,
   std::ostringstream label;
   label << "stencil2d(" << nx << 'x' << ny << (periodic ? ",periodic" : "")
         << ')';
+  const long long nv = static_cast<long long>(nx) * ny;
+  TOPOMAP_REQUIRE(nv <= std::numeric_limits<int>::max(),
+                  "stencil2d: nx*ny overflows int vertex ids");
   TaskGraph::Builder b(label.str());
-  b.add_vertices(nx * ny, compute_load);
+  b.add_vertices(static_cast<int>(nv), compute_load);
+  // nv fits in int, so every x + nx * y below does too.
   auto id = [nx](int x, int y) { return x + nx * y; };
   for (int y = 0; y < ny; ++y) {
     for (int x = 0; x < nx; ++x) {
@@ -39,8 +44,12 @@ TaskGraph stencil_3d(int nx, int ny, int nz, double bytes, bool periodic,
   std::ostringstream label;
   label << "stencil3d(" << nx << 'x' << ny << 'x' << nz
         << (periodic ? ",periodic" : "") << ')';
+  const long long nv = static_cast<long long>(nx) * ny * nz;
+  TOPOMAP_REQUIRE(nv <= std::numeric_limits<int>::max(),
+                  "stencil3d: nx*ny*nz overflows int vertex ids");
   TaskGraph::Builder b(label.str());
-  b.add_vertices(nx * ny * nz, compute_load);
+  b.add_vertices(static_cast<int>(nv), compute_load);
+  // nv fits in int, so x + nx * (y + ny * z) is bounded by nv - 1.
   auto id = [nx, ny](int x, int y, int z) { return x + nx * (y + ny * z); };
   for (int z = 0; z < nz; ++z) {
     for (int y = 0; y < ny; ++y) {
@@ -89,8 +98,11 @@ TaskGraph transpose(int n, double bytes, double compute_load) {
   TOPOMAP_REQUIRE(n >= 2, "transpose needs at least a 2x2 grid");
   std::ostringstream label;
   label << "transpose(" << n << 'x' << n << ')';
+  const long long nv = static_cast<long long>(n) * n;
+  TOPOMAP_REQUIRE(nv <= std::numeric_limits<int>::max(),
+                  "transpose: n*n overflows int vertex ids");
   TaskGraph::Builder b(label.str());
-  b.add_vertices(n * n, compute_load);
+  b.add_vertices(static_cast<int>(nv), compute_load);
   for (int r = 0; r < n; ++r)
     for (int c = r + 1; c < n; ++c)
       b.add_edge(c + n * r, r + n * c, bytes);

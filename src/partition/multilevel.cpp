@@ -36,17 +36,12 @@ double cut_of(const TaskGraph& g, const std::vector<int>& side) {
   return cut;
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Coarsening: heavy-edge matching.
+// Coarsening: heavy-edge matching (public — shared with core::HierTopoLB).
 // ---------------------------------------------------------------------------
 
-struct CoarseLevel {
-  TaskGraph coarse;
-  std::vector<int> fine_to_coarse;
-};
-
-/// One round of heavy-edge-matching contraction.  Returns false (and leaves
-/// outputs untouched) when matching stalls (< 5% shrinkage).
 bool coarsen_once(const TaskGraph& g, double weight_cap, Rng& rng,
                   CoarseLevel* out) {
   const int n = g.num_vertices();
@@ -101,6 +96,8 @@ bool coarsen_once(const TaskGraph& g, double weight_cap, Rng& rng,
   out->fine_to_coarse = std::move(fine_to_coarse);
   return true;
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // FM-style bisection refinement with rollback.

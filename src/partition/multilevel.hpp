@@ -24,6 +24,23 @@
 
 namespace topomap::part {
 
+/// One level of a coarsening hierarchy: the contracted graph plus the
+/// fine-vertex -> coarse-vertex map that produced it.
+struct CoarseLevel {
+  graph::TaskGraph coarse;
+  std::vector<int> fine_to_coarse;
+};
+
+/// One round of heavy-edge-matching contraction (the partitioner's COARSEN
+/// step, also the task-side coarsener of core::HierTopoLB).  Vertices are
+/// visited in rng-permutation order and matched with the unmatched
+/// neighbour sharing the heaviest edge, subject to `weight_cap` on the
+/// combined vertex weight.  Returns false (and leaves `out` untouched)
+/// when matching stalls (< 5% shrinkage).  Fully sequential and therefore
+/// byte-identical for any TOPOMAP_THREADS given a fixed rng state.
+bool coarsen_once(const graph::TaskGraph& g, double weight_cap, Rng& rng,
+                  CoarseLevel* out);
+
 struct MultilevelOptions {
   /// Stop coarsening once a bisection's working graph has at most this
   /// many vertices.

@@ -193,11 +193,13 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
       // map_on_alive enforces tasks <= alive; dead processors stay empty.
       m = core::map_on_alive(*strategy, g, *overlay, rng);
     } else {
-      if (g.num_vertices() != topo->size()) {
+      if (g.num_vertices() != topo->size() &&
+          !(strategy->supports_oversubscription() &&
+            g.num_vertices() > topo->size())) {
         std::cerr << "error: workload has " << g.num_vertices()
                   << " tasks but the machine has " << topo->size()
-                  << " processors; use `topomap pipeline` when tasks > "
-                     "procs\n";
+                  << " processors; use `topomap pipeline` or strategy "
+                     "`hier` when tasks > procs\n";
         return 1;
       }
       m = strategy->map(g, *topo, rng);
@@ -379,11 +381,13 @@ int cmd_explain(int argc, const char* const* argv) {
     if (overlay) {
       m = core::map_on_alive(*strategy, g, *overlay, rng);
     } else {
-      if (g.num_vertices() != topo->size()) {
+      if (g.num_vertices() != topo->size() &&
+          !(strategy->supports_oversubscription() &&
+            g.num_vertices() > topo->size())) {
         std::cerr << "error: workload has " << g.num_vertices()
                   << " tasks but the machine has " << topo->size()
-                  << " processors; use `topomap pipeline` when tasks > "
-                     "procs\n";
+                  << " processors; use `topomap pipeline` or strategy "
+                     "`hier` when tasks > procs\n";
         return 1;
       }
       m = strategy->map(g, *topo, rng);
