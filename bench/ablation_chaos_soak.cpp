@@ -1,0 +1,132 @@
+// Ablation: the dynamic runtime under seeded chaos — does resilience cost
+// mapping quality, and does the repair-or-rebuild loop stay silent when
+// repairs are honest?
+//
+// A drifting stencil soaks on a torus while a seeded chaos schedule fails,
+// degrades, and repairs processors and links (runtime/chaos.hpp).  Three
+// chaos intensities cross two remap policies; every cell is seed-fixed and
+// virtual, so the table is byte-stable across machines and thread counts
+// and safe for the bench regression gate (no wall-clock columns).
+//
+// What to look for:
+//  * events/avail quantify how much machine each profile takes away;
+//  * part_ep > 0 rows prove transient partitions are survived, with q_max
+//    objects frozen rather than lost;
+//  * rebuilds/violations stay 0 — the incremental plane repairs match
+//    from-scratch rebuilds, so validation never has to fall back;
+//  * incremental vs scratch shows the usual migration-vs-quality trade
+//    holding up under faults.
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "graph/builders.hpp"
+#include "partition/partition.hpp"
+#include "runtime/chaos.hpp"
+#include "runtime/dynamic_lb.hpp"
+#include "topo/factory.hpp"
+
+using namespace topomap;
+
+namespace {
+
+struct Profile {
+  std::string label;
+  std::string spec;    // seed:rate:burst
+  int burst_size = 4;  // a torus needs big correlated balls to partition
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Ablation: dynamic-runtime chaos soak — availability, "
+                "quarantine, migrations, and plane-repair integrity across "
+                "chaos intensities and remap policies");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("epochs", "LB epochs per cell", "200");
+  cli.add_option("strategy", "phase-2 mapper", "topolb+refine");
+  cli.add_option("seed", "drift/mapping RNG seed", "1");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const int epochs = static_cast<int>(cli.integer("epochs"));
+  bench::preamble("chaos soak ablation", seed);
+
+  const auto topo = topo::make_topology(cli.str("topology"));
+  const graph::TaskGraph g = graph::stencil_2d(16, 8, 1000.0);  // 128 objects
+  std::cout << "workload: " << g.num_vertices() << " stencil objects on "
+            << topo->name() << ", " << epochs << " epochs per cell\n\n";
+
+  const std::vector<Profile> profiles = {
+      {"calm", "42:0.15:0.02"},
+      {"steady", "42:0.3:0.05"},
+      {"storm", "42:0.8:0.25", 12},
+  };
+  const std::vector<std::pair<std::string, rts::RemapPolicy>> policies = {
+      {"scratch", rts::RemapPolicy::kScratch},
+      {"incremental", rts::RemapPolicy::kIncremental},
+  };
+
+  Table table("chaos soak: availability, quarantine, and repair integrity",
+              {"profile", "policy", "events", "part_ep", "avail", "q_max",
+               "migrations", "mean_hpB", "final_hpB", "repair_rows",
+               "rebuilds", "violations"},
+              4);
+
+  bool loop_silent = true;
+  for (const Profile& profile : profiles) {
+    rts::ChaosConfig chaos = rts::parse_chaos_spec(profile.spec);
+    chaos.epochs = epochs;
+    chaos.burst_size = profile.burst_size;
+    const rts::ChaosSchedule schedule =
+        rts::make_chaos_schedule(*topo, chaos);
+
+    for (const auto& [policy_label, policy] : policies) {
+      rts::DynamicLBConfig config;
+      config.epochs = epochs;
+      config.policy = policy;
+      config.pipeline.partitioner = part::make_partitioner("multilevel");
+      config.pipeline.mapper = core::make_strategy(cli.str("strategy"));
+      config.events = schedule.events;
+
+      Rng rng(seed);
+      const rts::DynamicLBRun run =
+          rts::run_dynamic_lb_detailed(g, *topo, config, rng);
+
+      double alive_sum = 0.0;
+      double hpb_sum = 0.0;
+      std::int64_t migrations = 0;
+      std::int64_t repair_rows = 0;
+      for (const rts::DynamicEpochStats& s : run.history) {
+        alive_sum += s.alive_procs;
+        hpb_sum += s.hops_per_byte;
+        migrations += s.migrations;
+        repair_rows += s.plane_rows_repaired;
+      }
+      const double n_epochs = static_cast<double>(run.history.size());
+      table.add_row({profile.label, policy_label,
+                     static_cast<std::int64_t>(run.events_applied),
+                     static_cast<std::int64_t>(run.partitioned_epochs),
+                     alive_sum / (n_epochs * topo->size()),
+                     static_cast<std::int64_t>(run.max_quarantined),
+                     migrations, hpb_sum / n_epochs,
+                     run.history.back().hops_per_byte, repair_rows,
+                     static_cast<std::int64_t>(run.plane_rebuilds),
+                     static_cast<std::int64_t>(run.violations)});
+      if (run.plane_rebuilds != 0 || run.violations != 0) loop_silent = false;
+    }
+  }
+
+  bench::emit(table, "ablation_chaos_soak");
+  std::cout << "\nExpected: availability drops and partitioned epochs rise "
+               "with chaos intensity while\nevery run completes; rebuilds "
+               "and violations stay 0 because the incremental plane\n"
+               "repairs are exact; incremental migrates less than scratch "
+               "at comparable hops-per-byte.\n";
+  if (!loop_silent) {
+    std::cout << "WARNING: validation caught a stale plane (rebuilds or "
+                 "violations above are non-zero)\n— the incremental repair "
+                 "path disagreed with ground truth somewhere.\n";
+    return 1;
+  }
+  return 0;
+}

@@ -61,9 +61,14 @@ echo "obs slice ok: artifacts validate, mapping identical to release build"
 echo "=== sanitize (ASan/UBSan): labeled slices ==="
 cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
 cmake --build build-ci-sanitize -j "$JOBS"
-for label in unit property fault hier; do
+for label in unit property fault hier chaos; do
   echo "--- ctest -L $label ---"
   ctest --test-dir build-ci-sanitize --output-on-failure -j "$JOBS" -L "$label"
 done
+# Reduced-scale chaos soak under the sanitizers: the full event/recovery/
+# quarantine/repair loop with every allocation and UB check armed.
+build-ci-sanitize/tools/topomap chaos --tasks=stencil2d:12x12 \
+  --topology=torus:6x6 --epochs=40 --chaos=7:0.8:0.2 >/dev/null
+echo "sanitized chaos soak ok"
 
 echo "ci passed"

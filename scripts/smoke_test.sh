@@ -113,6 +113,52 @@ if ! diff -q "$TMP/plain.map" "$TMP/healthy.map" >/dev/null; then
 fi
 echo "ok: soft faults        --degrade-link engages, health 1.0 is a no-op"
 
+# Chaos soak end-to-end: the dynamic runtime survives a seeded 60-epoch
+# fault/recovery timeline (bursts, degrades, transient partitions) with its
+# self-validation on, and the final placement is thread-invariant.
+TOPOMAP_THREADS=1 "$CLI" chaos --tasks=stencil2d:16x8 --topology=torus:8x8 \
+  --epochs=60 --chaos=7:0.8:0.25 --seed=7 --output="$TMP/chaos1.map" \
+  | tee "$TMP/chaos.log" >/dev/null
+TOPOMAP_THREADS=2 "$CLI" chaos --tasks=stencil2d:16x8 --topology=torus:8x8 \
+  --epochs=60 --chaos=7:0.8:0.25 --seed=7 --output="$TMP/chaos2.map" >/dev/null
+if ! diff -q "$TMP/chaos1.map" "$TMP/chaos2.map" >/dev/null; then
+  echo "FAIL: chaos final placement differs between 1 and 2 workers" >&2
+  diff "$TMP/chaos1.map" "$TMP/chaos2.map" >&2 || true
+  exit 1
+fi
+grep -Eq 'events: *[1-9][0-9]* applied' "$TMP/chaos.log"
+grep -Eq '0 violations caught' "$TMP/chaos.log"
+echo "ok: chaos soak         60 epochs, validated, thread-invariant"
+
+# Exit-code taxonomy: 0 ok, 1 usage, 2 bad input (precondition), 3 internal
+# invariant, 4 I/O failure — sweep scripts branch on these.
+expect_rc() {  # expected-rc, description, command...
+  local want="$1" what="$2" rc=0
+  shift 2
+  "$@" >/dev/null 2>&1 || rc=$?
+  if [ "$rc" != "$want" ]; then
+    echo "FAIL: $what exited $rc, expected $want" >&2
+    exit 1
+  fi
+}
+expect_rc 1 "unknown command" "$CLI" frobnicate
+expect_rc 2 "malformed chaos spec" "$CLI" chaos --chaos=bogus
+expect_rc 2 "malformed fault spec" "$CLI" map --tasks=stencil2d:4x4 \
+  --topology=torus:4x4 --fail-link=0
+expect_rc 2 "partitioned simulate" "$CLI" simulate --tasks=ring:4 \
+  --topology=mesh:5 --fail-node=2
+expect_rc 4 "unwritable output" "$CLI" map --tasks=stencil2d:4x4 \
+  --topology=torus:4x4 --output=/nonexistent-dir/out.map
+echo "ok: exit codes         1 usage / 2 precondition / 4 io"
+
+# Partition tolerance: a split machine maps what fits on the primary
+# component and quarantines the rest instead of refusing.
+"$CLI" map --tasks=ring:4 --topology=mesh:5 --fail-node=2 --seed=7 \
+  | tee "$TMP/part.log" >/dev/null
+grep -Eq 'quarantined: *2 of 4 tasks' "$TMP/part.log"
+grep -q 'split into 2 components' "$TMP/part.log"
+echo "ok: partition map      2 of 4 tasks quarantined on a split mesh:5"
+
 # Observability: an instrumented build (-DTOPOMAP_OBS=ON, CLI target only —
 # the rest of the suite already built above) must emit a schema-valid
 # --stats report whose hop-bytes trajectory is monotone and whose counters

@@ -1,0 +1,206 @@
+#include "runtime/chaos.hpp"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "topo/fault_overlay.hpp"
+
+namespace topomap::rts {
+
+namespace {
+
+constexpr double kHealthSteps[] = {0.25, 0.5, 0.75};
+
+bool kill_allowed(const topo::FaultOverlay& shadow, const ChaosConfig& cfg) {
+  if (shadow.num_alive() <= 1) return false;
+  const double dead_after = shadow.num_failed_nodes() + 1;
+  return dead_after <= cfg.max_dead_fraction * shadow.size();
+}
+
+int random_alive(const topo::FaultOverlay& shadow, Rng& rng) {
+  const std::vector<int> alive = shadow.alive_procs();
+  return alive[static_cast<std::size_t>(rng.uniform(alive.size()))];
+}
+
+/// Alive BFS ball of up to `want` processors around `seed` (seed included),
+/// in deterministic visit order.
+std::vector<int> burst_ball(const topo::FaultOverlay& shadow, int seed,
+                            int want) {
+  std::vector<int> ball;
+  if (want <= 0) return ball;
+  std::vector<char> seen(static_cast<std::size_t>(shadow.size()), 0);
+  std::deque<int> frontier{seed};
+  seen[static_cast<std::size_t>(seed)] = 1;
+  while (!frontier.empty() && static_cast<int>(ball.size()) < want) {
+    const int p = frontier.front();
+    frontier.pop_front();
+    ball.push_back(p);
+    if (!shadow.has_adjacency()) continue;  // distance model: seed only ball
+    for (int q : shadow.neighbors(p)) {
+      if (seen[static_cast<std::size_t>(q)] != 0) continue;
+      seen[static_cast<std::size_t>(q)] = 1;
+      frontier.push_back(q);
+    }
+  }
+  return ball;
+}
+
+}  // namespace
+
+ChaosConfig parse_chaos_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  TOPOMAP_REQUIRE(parts.size() == 3,
+                  "chaos spec must be seed:rate:burst, got '" + spec + "'");
+  ChaosConfig cfg;
+  try {
+    std::size_t pos = 0;
+    cfg.seed = std::stoull(parts[0], &pos);
+    TOPOMAP_REQUIRE(pos == parts[0].size(), "trailing characters");
+    cfg.event_rate = std::stod(parts[1], &pos);
+    TOPOMAP_REQUIRE(pos == parts[1].size(), "trailing characters");
+    cfg.burst_prob = std::stod(parts[2], &pos);
+    TOPOMAP_REQUIRE(pos == parts[2].size(), "trailing characters");
+  } catch (const precondition_error&) {
+    throw precondition_error("bad chaos spec '" + spec +
+                             "': want seed:rate:burst, e.g. 7:0.5:0.1");
+  } catch (const std::exception&) {
+    throw precondition_error("bad chaos spec '" + spec +
+                             "': want seed:rate:burst, e.g. 7:0.5:0.1");
+  }
+  TOPOMAP_REQUIRE(cfg.event_rate >= 0.0,
+                  "chaos event rate must be non-negative");
+  TOPOMAP_REQUIRE(cfg.burst_prob >= 0.0 && cfg.burst_prob <= 1.0,
+                  "chaos burst probability must be in [0, 1]");
+  return cfg;
+}
+
+ChaosSchedule make_chaos_schedule(const topo::Topology& base,
+                                  const ChaosConfig& cfg) {
+  TOPOMAP_REQUIRE(cfg.epochs >= 1, "chaos schedule needs at least one epoch");
+  TOPOMAP_REQUIRE(cfg.event_rate >= 0.0, "chaos event rate must be non-negative");
+  TOPOMAP_REQUIRE(cfg.burst_prob >= 0.0 && cfg.burst_prob <= 1.0,
+                  "chaos burst probability must be in [0, 1]");
+  TOPOMAP_REQUIRE(cfg.burst_size >= 1, "chaos burst size must be positive");
+  TOPOMAP_REQUIRE(
+      cfg.link_fraction >= 0.0 && cfg.link_fraction <= 1.0 &&
+          cfg.degrade_fraction >= 0.0 && cfg.degrade_fraction <= 1.0,
+      "chaos fault-mix fractions must be in [0, 1]");
+  TOPOMAP_REQUIRE(cfg.recovery_min >= 1 && cfg.recovery_max >= cfg.recovery_min,
+                  "chaos recovery window must satisfy 1 <= min <= max");
+  TOPOMAP_REQUIRE(cfg.max_dead_fraction >= 0.0 && cfg.max_dead_fraction < 1.0,
+                  "chaos max_dead_fraction must be in [0, 1)");
+  TOPOMAP_REQUIRE(base.size() >= 2, "chaos needs at least two processors");
+
+  // The shadow machine replays every emitted event through the same
+  // apply_event the runtime uses, so generation-time state == run-time
+  // state and the timeline stays self-consistent.
+  topo::FaultOverlay shadow(topo::TopologyPtr(topo::TopologyPtr{}, &base));
+  const bool links_possible = base.has_adjacency() && cfg.link_fraction > 0.0;
+  Rng rng(cfg.seed);
+  ChaosSchedule out;
+  std::map<int, std::vector<Event>> pending;  // repair crew arrivals
+
+  auto emit = [&](Event ev) -> bool {
+    ev.strict = false;
+    const bool applied = apply_event(shadow, nullptr, ev).applied;
+    out.events.push_back(ev);
+    return applied;
+  };
+  auto schedule_recovery = [&](int epoch, Event repair) {
+    const int when = epoch + static_cast<int>(rng.uniform_int(
+                                 cfg.recovery_min, cfg.recovery_max));
+    if (when < cfg.epochs) pending[when].push_back(repair);
+  };
+  auto pick_link = [&](int& a, int& b) -> bool {
+    for (int tries = 0; tries < 64; ++tries) {
+      const int u = random_alive(shadow, rng);
+      const std::vector<int> nbrs = shadow.neighbors(u);
+      if (nbrs.empty()) continue;
+      a = u;
+      b = nbrs[static_cast<std::size_t>(rng.uniform(nbrs.size()))];
+      return true;
+    }
+    return false;
+  };
+  auto link_fault = [&](int epoch) {
+    int a = 0;
+    int b = 0;
+    if (!pick_link(a, b)) return;
+    if (rng.bernoulli(cfg.degrade_fraction)) {
+      const double health =
+          kHealthSteps[static_cast<std::size_t>(rng.uniform(3))];
+      if (emit({epoch, EventKind::kLinkDegrade, a, b, health, false})) {
+        ++out.degrades;
+        schedule_recovery(
+            epoch, {0, EventKind::kLinkRestoreHealth, a, b, 1.0, false});
+      }
+    } else {
+      if (emit({epoch, EventKind::kLinkFail, a, b, 1.0, false})) {
+        ++out.failures;
+        schedule_recovery(epoch,
+                          {0, EventKind::kLinkRestore, a, b, 1.0, false});
+      }
+    }
+  };
+  auto node_fault = [&](int epoch, int victim) {
+    if (!kill_allowed(shadow, cfg)) return false;
+    if (emit({epoch, EventKind::kNodeFail, victim, 0, 1.0, false})) {
+      ++out.failures;
+      schedule_recovery(epoch,
+                        {0, EventKind::kNodeRestore, victim, 0, 1.0, false});
+      return true;
+    }
+    return false;
+  };
+
+  const int base_arrivals = static_cast<int>(cfg.event_rate);
+  const double frac_arrival = cfg.event_rate - base_arrivals;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // 1. The repair crew: scheduled recoveries land first, so a machine
+    //    under sustained chaos breathes instead of monotonically dying.
+    auto due = pending.find(epoch);
+    if (due != pending.end()) {
+      for (Event ev : due->second) {
+        ev.epoch = epoch;
+        if (emit(ev)) ++out.restores;
+      }
+      pending.erase(due);
+    }
+    // 2. New faults.
+    int arrivals = base_arrivals + (rng.bernoulli(frac_arrival) ? 1 : 0);
+    while (arrivals-- > 0) {
+      if (rng.bernoulli(cfg.burst_prob) && kill_allowed(shadow, cfg)) {
+        // Correlated burst: a BFS ball around a random seed goes dark.
+        const int seed = random_alive(shadow, rng);
+        bool any = false;
+        for (int victim : burst_ball(shadow, seed, cfg.burst_size))
+          any = node_fault(epoch, victim) || any;
+        if (any) ++out.bursts;
+      } else if (links_possible && rng.bernoulli(cfg.link_fraction)) {
+        link_fault(epoch);
+      } else if (kill_allowed(shadow, cfg)) {
+        node_fault(epoch, random_alive(shadow, rng));
+      } else if (links_possible) {
+        // At the dead-fraction cap: redirect the arrival onto the network.
+        link_fault(epoch);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace topomap::rts

@@ -7,6 +7,7 @@
 #include "core/metrics.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "topo/components.hpp"
 
 namespace topomap::rts {
 
@@ -108,6 +109,14 @@ EvacuationResult evacuate(const graph::TaskGraph& g,
                   "evacuate: " + std::to_string(n) + " tasks exceed " +
                       std::to_string(overlay.num_alive()) +
                       " alive processors on " + overlay.name());
+  // Fail up front with the disconnecting fault named, instead of a bare
+  // "disconnected pair" from a distance query halfway through placement.
+  const topo::ComponentSplit split = topo::connected_components(overlay);
+  TOPOMAP_REQUIRE(!split.partitioned(),
+                  "evacuate: cannot evacuate across a network partition — " +
+                      topo::describe_partition(overlay, split) +
+                      "; restore connectivity first, or remap with "
+                      "map_on_largest_component to quarantine the overflow");
 
   // Validate the previous placement (in-range, injective) and split tasks
   // into survivors and stranded; collect the free alive processors.

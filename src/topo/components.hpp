@@ -1,0 +1,46 @@
+// Connected components of a faulted machine's alive subgraph.
+//
+// Faults do not only shrink a machine — enough of them split it.  A
+// partition-tolerant runtime needs to know the pieces: which survivors can
+// still talk, which component is worth mapping onto, and how to describe
+// the split when a caller asked for something the partition makes
+// impossible.  Everything here is deterministic: components are discovered
+// in ascending processor-id order, members are listed ascending, and the
+// primary component is the largest one (ties break to the component
+// containing the lowest processor id), so every thread count and every run
+// agrees on which tasks get quarantined.
+//
+// Distance-model topologies without processor-level links (fat-tree,
+// has_adjacency() == false) only lose leaves to node faults, never split:
+// their alive set is always a single component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace topomap::topo {
+
+class FaultOverlay;
+
+struct ComponentSplit {
+  /// Alive components; each member list ascending.  Ordered by
+  /// (size descending, lowest member id ascending), so components[0] is
+  /// the primary component.  Empty only when every processor is dead.
+  std::vector<std::vector<int>> components;
+
+  int count() const { return static_cast<int>(components.size()); }
+  bool partitioned() const { return components.size() > 1; }
+  /// The primary (largest, lowest-id tie-break) component's members.
+  const std::vector<int>& primary() const { return components.front(); }
+};
+
+/// Components of the overlay's alive subgraph (dead processors and failed
+/// links absent; degraded links present — a sick link still connects).
+ComponentSplit connected_components(const FaultOverlay& overlay);
+
+/// One-line description of a split machine for error messages and logs:
+/// component count, sizes, and the fault set that caused the split.
+std::string describe_partition(const FaultOverlay& overlay,
+                               const ComponentSplit& split);
+
+}  // namespace topomap::topo

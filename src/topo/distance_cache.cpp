@@ -250,4 +250,155 @@ int DistanceCache::repair_link_degrade(const FaultOverlay& overlay, int a,
   return static_cast<int>(affected.size());
 }
 
+int DistanceCache::repair_node_restore(const FaultOverlay& overlay, int p) {
+  TOPOMAP_REQUIRE(overlay.size() == n_,
+                  "repair_node_restore: overlay size mismatch");
+  TOPOMAP_REQUIRE(p >= 0 && p < n_, "repair_node_restore: bad processor id");
+  TOPOMAP_REQUIRE(overlay.is_alive(p),
+                  "repair_node_restore: processor " + std::to_string(p) +
+                      " is still failed in the overlay");
+  if (rescale_if_needed(overlay)) return n_;
+  if (!overlay.has_faults()) {
+    // The restore returned the overlay to pristine: a fresh build stores the
+    // base topology's closed-form means, which the integer aggregates cannot
+    // reproduce bit-for-bit — rebuild instead of patching.
+    rebuild_all(overlay);
+    return n_;
+  }
+  OBS_COUNTER_ADD("distcache/repairs", 1);
+  const auto un = static_cast<std::size_t>(n_);
+  const auto up = static_cast<std::size_t>(p);
+
+  // One fresh row for the revived processor; every other change derives
+  // from it: a path gained by the restore crosses p (at most once — costs
+  // are positive), so new_d(s, q) = min(old, d(p, s) + d(p, q)) exactly.
+  std::vector<std::uint16_t> row_p(un);
+  overlay.write_distance_row(p, row_p.data());
+  std::copy(row_p.begin(), row_p.end(), dist_.begin() + up * un);
+  recompute_row_stats(p);
+
+  const int grain = 16;
+  const int chunks = support::parallel_chunk_count(n_, grain);
+  std::vector<int> chunk_changed(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for_chunks(n_, grain, [&](int chunk, int begin, int end) {
+    int rows_changed = 0;
+    for (int s = begin; s < end; ++s) {
+      if (s == p) continue;
+      const int dp = row_p[static_cast<std::size_t>(s)];
+      if (dp == kUnreachable) continue;  // s cannot reach p: row unchanged
+      std::uint16_t* r = dist_.data() + static_cast<std::size_t>(s) * un;
+      bool changed = false;
+      for (int q = 0; q < n_; ++q) {
+        const int dq = row_p[static_cast<std::size_t>(q)];
+        if (dq == kUnreachable) continue;
+        const int cand = dp + dq;
+        const int old = r[q];
+        if (cand < old) {
+          r[q] = static_cast<std::uint16_t>(cand);
+          changed = true;
+        } else if (old == kUnreachable) {
+          TOPOMAP_REQUIRE(false,
+                          "repair_node_restore: path cost overflows the "
+                          "fixed-point uint16 plane");
+        }
+      }
+      if (changed) {
+        recompute_row_stats(s);
+        ++rows_changed;
+      }
+    }
+    chunk_changed[static_cast<std::size_t>(chunk)] = rows_changed;
+  });
+  int total = 0;
+  for (int c : chunk_changed) total += c;
+  OBS_COUNTER_ADD("distcache/rows_repaired", total + 1);
+  refresh_means_and_diameter();
+  return total;
+}
+
+int DistanceCache::repair_link_restore(const FaultOverlay& overlay, int a,
+                                       int b, int cost) {
+  TOPOMAP_REQUIRE(overlay.size() == n_,
+                  "repair_link_restore: overlay size mismatch");
+  TOPOMAP_REQUIRE(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+                  "repair_link_restore: bad link endpoints");
+  TOPOMAP_REQUIRE(!overlay.link_failed(a, b),
+                  "repair_link_restore: link " + std::to_string(a) + "-" +
+                      std::to_string(b) + " is still failed in the overlay");
+  TOPOMAP_REQUIRE(cost > 0, "repair_link_restore: cost must be the value "
+                            "restore_link returned");
+  if (rescale_if_needed(overlay)) return n_;
+  // A restored link with a dead endpoint is inert until the processor
+  // returns; no distance can change.
+  if (!overlay.is_alive(a) || !overlay.is_alive(b)) return 0;
+  if (!overlay.has_faults()) {
+    rebuild_all(overlay);  // pristine again: see repair_node_restore
+    return n_;
+  }
+  OBS_COUNTER_ADD("distcache/repairs", 1);
+  const auto un = static_cast<std::size_t>(n_);
+
+  // Pre-restore endpoint rows: a path gained by the restore crosses the new
+  // edge exactly once (positive costs), so with the *old* metric
+  //   new_d(s, q) = min(old, d(s,a) + c + d(b,q), d(s,b) + c + d(a,q)).
+  // Affected-row oracle from two cached reads: rows with both endpoints
+  // reachable and |d(s,a) - d(s,b)| <= c gain nothing (triangle inequality
+  // makes both candidates >= old); rows reaching exactly one endpoint may
+  // gain entries across the edge.
+  const std::vector<std::uint16_t> old_ra(row(a), row(a) + n_);
+  const std::vector<std::uint16_t> old_rb(row(b), row(b) + n_);
+
+  const int grain = 16;
+  const int chunks = support::parallel_chunk_count(n_, grain);
+  std::vector<int> chunk_changed(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for_chunks(n_, grain, [&](int chunk, int begin, int end) {
+    int rows_changed = 0;
+    for (int s = begin; s < end; ++s) {
+      const int da = old_ra[static_cast<std::size_t>(s)];
+      const int db = old_rb[static_cast<std::size_t>(s)];
+      const bool fa = da != kUnreachable;
+      const bool fb = db != kUnreachable;
+      if (!fa && !fb) continue;  // s reaches neither endpoint
+      if (fa && fb) {
+        const int diff = da > db ? da - db : db - da;
+        if (diff <= cost) continue;
+      }
+      std::uint16_t* r = dist_.data() + static_cast<std::size_t>(s) * un;
+      bool changed = false;
+      for (int q = 0; q < n_; ++q) {
+        int cand = kUnreachable;
+        const int qa = old_ra[static_cast<std::size_t>(q)];
+        const int qb = old_rb[static_cast<std::size_t>(q)];
+        if (fa && qb != kUnreachable) cand = da + cost + qb;
+        if (fb && qa != kUnreachable) cand = std::min(cand, db + cost + qa);
+        const int old = r[q];
+        if (cand < old) {
+          r[q] = static_cast<std::uint16_t>(cand);
+          changed = true;
+        } else if (old == kUnreachable && cand != kUnreachable &&
+                   cand > static_cast<int>(FaultOverlay::kMaxFiniteDistance)) {
+          TOPOMAP_REQUIRE(false,
+                          "repair_link_restore: path cost overflows the "
+                          "fixed-point uint16 plane");
+        }
+      }
+      if (changed) {
+        recompute_row_stats(s);
+        ++rows_changed;
+      }
+    }
+    chunk_changed[static_cast<std::size_t>(chunk)] = rows_changed;
+  });
+  int total = 0;
+  for (int c : chunk_changed) total += c;
+  OBS_COUNTER_ADD("distcache/rows_repaired", total);
+  refresh_means_and_diameter();
+  return total;
+}
+
+void DistanceCache::rebuild(const Topology& topo) {
+  TOPOMAP_REQUIRE(topo.size() == n_, "rebuild: topology size mismatch");
+  rebuild_all(topo);
+}
+
 }  // namespace topomap::topo

@@ -115,8 +115,38 @@ class DistanceCache {
   /// (first soft fault, or the last one restored) every row rebuilds;
   /// otherwise only rows whose shortest paths the cost change can touch
   /// are recomputed.  Returns the number of rows recomputed.
+  /// restore_link_health is degrade_link(a, b, 1.0), so this repair also
+  /// covers health recoveries.
   int repair_link_degrade(const FaultOverlay& overlay, int a, int b,
                           int prev_cost);
+
+  /// Incorporate overlay.restore_node(p) — call once, immediately after
+  /// the overlay mutation.  Computes p's fresh row once, then patches every
+  /// survivor row in place: a revived processor can only *shorten* paths,
+  /// and a shortest path crosses p at most once, so
+  /// new_d(s, q) = min(old_d(s, q), d(p, s) + d(p, q)) is exact.  Returns
+  /// the number of survivor rows whose entries changed.
+  int repair_node_restore(const FaultOverlay& overlay, int p);
+
+  /// Incorporate overlay.restore_link(a, b) — call once, immediately after
+  /// the overlay mutation, passing restore_link's return value as `cost`.
+  /// A returning link of cost c can only shorten paths, and a shortest path
+  /// crosses it at most once, so rows are patched in place with
+  /// new_d(s, q) = min(old, d(s,a) + c + d(b,q), d(s,b) + c + d(a,q)),
+  /// touching only rows the oracle |d(s,a) - d(s,b)| > c (or exactly one
+  /// endpoint reachable) flags.  A dead endpoint makes the restore inert:
+  /// no distances change.  Returns the number of rows patched.
+  int repair_link_restore(const FaultOverlay& overlay, int a, int b,
+                          int cost);
+
+  /// Full from-scratch rebuild on `topo` — the graceful-fallback path when
+  /// core::validate_state finds the incrementally-repaired plane out of
+  /// step with the overlay.  Also the exactness anchor the repairs fall
+  /// back to when a restore returns the overlay to a pristine state (a
+  /// fresh build on a fault-free overlay stores the base topology's
+  /// closed-form means, which the integer aggregates cannot reproduce
+  /// bit-for-bit).
+  void rebuild(const Topology& topo);
 
  private:
   void rebuild_all(const Topology& topo);

@@ -124,6 +124,37 @@ int FaultOverlay::degrade_link(int a, int b, double health) {
   return prev;
 }
 
+void FaultOverlay::restore_node(int p) {
+  check_node(p);
+  if (!dead_[static_cast<std::size_t>(p)]) return;
+  dead_[static_cast<std::size_t>(p)] = 0;
+  --dead_count_;
+  ++version_;
+  OBS_COUNTER_ADD("faultoverlay/node_restores", 1);
+}
+
+int FaultOverlay::restore_link(int a, int b) {
+  check_node(a);
+  check_node(b);
+  TOPOMAP_REQUIRE(a != b, "restore_link: self-link " + std::to_string(a));
+  TOPOMAP_REQUIRE(base_->has_adjacency(),
+                  "restore_link: " + base_->name() +
+                      " is a distance model without processor-level links");
+  const auto nb = base_->neighbors(a);
+  TOPOMAP_REQUIRE(std::find(nb.begin(), nb.end(), b) != nb.end(),
+                  "restore_link: no link " + std::to_string(a) + "-" +
+                      std::to_string(b) + " in " + base_->name());
+  if (failed_links_.erase(norm_link(a, b)) != 0) {
+    ++version_;
+    OBS_COUNTER_ADD("faultoverlay/link_restores", 1);
+  }
+  return link_cost(a, b);
+}
+
+int FaultOverlay::restore_link_health(int a, int b) {
+  return degrade_link(a, b, 1.0);
+}
+
 bool FaultOverlay::link_failed(int a, int b) const {
   return failed_links_.count(norm_link(a, b)) != 0;
 }

@@ -89,6 +89,27 @@ class FaultOverlay final : public Topology {
   /// distance_scale() units — pass it to DistanceCache::repair_link_degrade.
   int degrade_link(int a, int b, double health);
 
+  // --- recovery (idempotent, the inverses of the fault mutations) ---
+
+  /// Revive dead processor p.  Its base links come back except those in
+  /// the hard-failed set; health records of links into p survived the death
+  /// and re-engage as-is.  Restoring an alive processor is a no-op.  Pair
+  /// with DistanceCache::repair_node_restore.
+  void restore_node(int p);
+
+  /// Re-install hard-failed link a-b at full health (the hard fault
+  /// destroyed any degrade record when it superseded it).  Restoring a
+  /// link that is not failed is a no-op.  A dead endpoint is allowed — the
+  /// restored link stays inert until the processor comes back.  Returns
+  /// the link's cost in the *post-mutation* distance_scale() units, for
+  /// DistanceCache::repair_link_restore.
+  int restore_link(int a, int b);
+
+  /// Restore link a-b to full health: exactly degrade_link(a, b, 1.0).
+  /// Returns the previous cost in pre-mutation units, for
+  /// DistanceCache::repair_link_degrade.
+  int restore_link_health(int a, int b);
+
   // --- fault inspection ---
 
   bool link_failed(int a, int b) const;

@@ -57,7 +57,29 @@ std::pair<int, int> norm_link(int a, int b) {
   return a < b ? std::pair<int, int>{a, b} : std::pair<int, int>{b, a};
 }
 
+/// Split one "target[@epoch]" restore entry; epoch 0 when absent.
+std::pair<std::string, int> parse_timed(const std::string& entry,
+                                        const std::string& what) {
+  const auto at = split(entry, '@');
+  TOPOMAP_REQUIRE(at.size() <= 2,
+                  what + ": more than one '@' in '" + entry + "'");
+  int epoch = 0;
+  if (at.size() == 2) {
+    epoch = parse_int(at[1], what + " epoch");
+    TOPOMAP_REQUIRE(epoch >= 0, what + ": negative epoch in '" + entry + "'");
+  }
+  return {at[0], epoch};
+}
+
 }  // namespace
+
+bool FaultSpec::has_timed_restores() const {
+  for (const NodeRestoreSpec& r : restore_nodes)
+    if (r.epoch > 0) return true;
+  for (const LinkRestoreSpec& r : restore_links)
+    if (r.epoch > 0) return true;
+  return false;
+}
 
 FaultSpec parse_fault_spec(const std::string& fail_links,
                            const std::string& fail_nodes,
@@ -66,6 +88,20 @@ FaultSpec parse_fault_spec(const std::string& fail_links,
                            std::int64_t random_node_faults,
                            std::int64_t random_degrades,
                            std::uint64_t fault_seed) {
+  return parse_fault_spec(fail_links, fail_nodes, degrade_links,
+                          random_link_faults, random_node_faults,
+                          random_degrades, fault_seed, "", "");
+}
+
+FaultSpec parse_fault_spec(const std::string& fail_links,
+                           const std::string& fail_nodes,
+                           const std::string& degrade_links,
+                           std::int64_t random_link_faults,
+                           std::int64_t random_node_faults,
+                           std::int64_t random_degrades,
+                           std::uint64_t fault_seed,
+                           const std::string& restore_nodes,
+                           const std::string& restore_links) {
   TOPOMAP_REQUIRE(random_link_faults >= 0,
                   "--random-link-faults must be >= 0");
   TOPOMAP_REQUIRE(random_node_faults >= 0,
@@ -127,6 +163,48 @@ FaultSpec parse_fault_spec(const std::string& fail_links,
       spec.degrades.push_back(d);
     }
   }
+
+  if (!restore_nodes.empty()) {
+    std::set<std::pair<int, int>> seen;  // (processor, epoch)
+    for (const std::string& entry : split(restore_nodes, ',')) {
+      const auto [target, epoch] = parse_timed(entry, "--restore-node");
+      NodeRestoreSpec r;
+      r.p = parse_int(target, "--restore-node");
+      r.epoch = epoch;
+      TOPOMAP_REQUIRE(seen.insert({r.p, r.epoch}).second,
+                      "--restore-node lists '" + entry + "' twice");
+      TOPOMAP_REQUIRE(
+          r.epoch > 0 ||
+              std::find(spec.fail_nodes.begin(), spec.fail_nodes.end(),
+                        r.p) == spec.fail_nodes.end(),
+          "processor " + target + " appears in both --fail-node and an "
+          "epoch-0 --restore-node; give the restore an @epoch");
+      spec.restore_nodes.push_back(r);
+    }
+  }
+
+  if (!restore_links.empty()) {
+    std::set<std::pair<std::pair<int, int>, int>> seen;  // (link, epoch)
+    for (const std::string& entry : split(restore_links, ',')) {
+      const auto [target, epoch] = parse_timed(entry, "--restore-link");
+      const auto ends = split(target, ':');
+      TOPOMAP_REQUIRE(ends.size() == 2,
+                      "--restore-link entries must look like a:b[@epoch], "
+                      "got '" + entry + "'");
+      LinkRestoreSpec r;
+      r.a = parse_int(ends[0], "--restore-link");
+      r.b = parse_int(ends[1], "--restore-link");
+      r.epoch = epoch;
+      const auto key = norm_link(r.a, r.b);
+      TOPOMAP_REQUIRE(seen.insert({key, r.epoch}).second,
+                      "--restore-link lists '" + entry + "' twice");
+      TOPOMAP_REQUIRE(r.epoch > 0 || seen_links.count(key) == 0,
+                      "link " + target + " appears in both --fail-link and "
+                      "an epoch-0 --restore-link; give the restore an "
+                      "@epoch");
+      spec.restore_links.push_back(r);
+    }
+  }
   return spec;
 }
 
@@ -134,6 +212,10 @@ std::shared_ptr<FaultOverlay> build_fault_overlay(const TopologyPtr& base,
                                                   const FaultSpec& spec) {
   TOPOMAP_REQUIRE(base != nullptr, "build_fault_overlay: null base topology");
   if (spec.empty()) return nullptr;
+  TOPOMAP_REQUIRE(!spec.has_timed_restores(),
+                  "timed restores (@epoch > 0) describe a recovery timeline; "
+                  "this command applies one static fault set — use the chaos "
+                  "subcommand or drop the @epoch");
 
   auto overlay = std::make_shared<FaultOverlay>(base);
   for (const auto& [a, b] : spec.fail_links) overlay->fail_link(a, b);
@@ -186,6 +268,13 @@ std::shared_ptr<FaultOverlay> build_fault_overlay(const TopologyPtr& base,
       break;
     }
   }
+
+  // Epoch-0 recoveries close the static set: failures first, then repairs,
+  // so "--fail-node=3,4 --restore-node=3" leaves exactly processor 4 dead.
+  for (const NodeRestoreSpec& r : spec.restore_nodes)
+    overlay->restore_node(r.p);
+  for (const LinkRestoreSpec& r : spec.restore_links)
+    overlay->restore_link(r.a, r.b);
   return overlay;
 }
 

@@ -8,6 +8,16 @@
 //                                   limit and routed to fail_link)
 //   --random-link-faults=K / --random-node-faults=K / --random-degrades=K
 //   --fault-seed=S                  RNG stream for the random draws
+//   --restore-node=p[@epoch]        recovery: processor p comes back
+//   --restore-link=a:b[@epoch]      recovery: hard-failed link a-b returns
+//
+// Restores without an @epoch (epoch 0) are part of the static fault set:
+// they apply after the random draws, pinning a target alive that a
+// --random-* flag may have hit.  Epoch-0 restore of an *explicitly* failed
+// target is a contradiction and rejected ("give the restore an @epoch").
+// Restores with an epoch > 0 are *timed* — they describe a recovery
+// timeline and only make sense to commands that run epochs (the chaos
+// soak); static commands reject them loudly.
 //
 // The parser used to live inside tools/topomap_cli.cpp where nothing could
 // test it; it is a library now so malformed specs, out-of-range healths,
@@ -35,11 +45,27 @@ struct LinkDegradeSpec {
   double health = 1.0;
 };
 
+/// One --restore-node entry: processor p recovers at `epoch` (0 = part of
+/// the static fault set, applied after the failures).
+struct NodeRestoreSpec {
+  int p = 0;
+  int epoch = 0;
+};
+
+/// One --restore-link entry: hard-failed link a-b returns at `epoch`.
+struct LinkRestoreSpec {
+  int a = 0;
+  int b = 0;
+  int epoch = 0;
+};
+
 /// The parsed fault request of one CLI invocation.
 struct FaultSpec {
   std::vector<std::pair<int, int>> fail_links;
   std::vector<int> fail_nodes;
   std::vector<LinkDegradeSpec> degrades;
+  std::vector<NodeRestoreSpec> restore_nodes;
+  std::vector<LinkRestoreSpec> restore_links;
   int random_link_faults = 0;
   int random_node_faults = 0;
   int random_degrades = 0;
@@ -47,9 +73,12 @@ struct FaultSpec {
 
   bool empty() const {
     return fail_links.empty() && fail_nodes.empty() && degrades.empty() &&
+           restore_nodes.empty() && restore_links.empty() &&
            random_link_faults == 0 && random_node_faults == 0 &&
            random_degrades == 0;
   }
+  /// Any restore with an epoch > 0 (needs an epoch-running command).
+  bool has_timed_restores() const;
 };
 
 /// Parse the raw flag values.  Empty strings / zero counts mean "none".
@@ -65,13 +94,29 @@ FaultSpec parse_fault_spec(const std::string& fail_links,
                            std::int64_t random_degrades,
                            std::uint64_t fault_seed);
 
+/// As above, plus the recovery flags.  Restore entries reject duplicates
+/// (same target at the same epoch), negative epochs, and the epoch-0
+/// contradiction of failing and restoring the same target in one static
+/// set.
+FaultSpec parse_fault_spec(const std::string& fail_links,
+                           const std::string& fail_nodes,
+                           const std::string& degrade_links,
+                           std::int64_t random_link_faults,
+                           std::int64_t random_node_faults,
+                           std::int64_t random_degrades,
+                           std::uint64_t fault_seed,
+                           const std::string& restore_nodes,
+                           const std::string& restore_links);
+
 /// Build the overlay described by `spec` over `base`, or nullptr when the
 /// spec is empty.  Explicit entries apply first (degrades with health 0
 /// become hard link failures), then random node faults, link faults, and
 /// degrades are drawn from a dedicated Rng(seed) so the mapping seed's
 /// stream is unaffected; random degrade healths are uniform in [0.1, 0.9].
-/// Propagates the overlay's own rejections (nonexistent links, fat-tree
-/// link operations, out-of-range processors).
+/// Epoch-0 restores apply last.  Timed restores (epoch > 0) are rejected —
+/// this builds one static machine state; epoch timelines belong to the
+/// dynamic runtime.  Propagates the overlay's own rejections (nonexistent
+/// links, fat-tree link operations, out-of-range processors).
 std::shared_ptr<FaultOverlay> build_fault_overlay(const TopologyPtr& base,
                                                   const FaultSpec& spec);
 

@@ -103,6 +103,82 @@ TEST(FaultSpecBuild, AppliesExplicitAndRandomFaults) {
   EXPECT_EQ(build_fault_overlay(base, FaultSpec{}), nullptr);
 }
 
+FaultSpec parse_with_restores(const std::string& fail_links,
+                              const std::string& fail_nodes,
+                              const std::string& restore_nodes,
+                              const std::string& restore_links) {
+  return parse_fault_spec(fail_links, fail_nodes, "", 0, 0, 0, 42,
+                          restore_nodes, restore_links);
+}
+
+TEST(FaultSpecParse, AcceptsRestoreEntriesWithAndWithoutEpochs) {
+  const FaultSpec spec =
+      parse_with_restores("0:1,4:5", "7,9", "7@3,2", "0:1@5,8:9");
+  ASSERT_EQ(spec.restore_nodes.size(), 2u);
+  EXPECT_EQ(spec.restore_nodes[0].p, 7);
+  EXPECT_EQ(spec.restore_nodes[0].epoch, 3);
+  EXPECT_EQ(spec.restore_nodes[1].p, 2);
+  EXPECT_EQ(spec.restore_nodes[1].epoch, 0);
+  ASSERT_EQ(spec.restore_links.size(), 2u);
+  EXPECT_EQ(spec.restore_links[0].a, 0);
+  EXPECT_EQ(spec.restore_links[0].b, 1);
+  EXPECT_EQ(spec.restore_links[0].epoch, 5);
+  EXPECT_EQ(spec.restore_links[1].epoch, 0);
+  EXPECT_TRUE(spec.has_timed_restores());
+  EXPECT_FALSE(parse_with_restores("0:1", "", "", "2:3").has_timed_restores());
+  EXPECT_FALSE(spec.empty());
+  // Restores alone make the spec non-empty: a pristine machine plus a
+  // timed recovery is still a timeline.
+  EXPECT_FALSE(parse_with_restores("", "", "3@2", "").empty());
+}
+
+TEST(FaultSpecParse, RejectsMalformedRestores) {
+  // Field-count and token errors mirror the fault flags.
+  EXPECT_THROW(parse_with_restores("", "", "x", ""), precondition_error);
+  EXPECT_THROW(parse_with_restores("", "", "3@", ""), precondition_error);
+  EXPECT_THROW(parse_with_restores("", "", "3@-1", ""), precondition_error);
+  EXPECT_THROW(parse_with_restores("", "", "3@2x", ""), precondition_error);
+  EXPECT_THROW(parse_with_restores("", "", "", "0@2"), precondition_error);
+  EXPECT_THROW(parse_with_restores("", "", "", "0:1:2@2"), precondition_error);
+  // Duplicates (same target, same epoch) and reversed-orientation links.
+  EXPECT_THROW(parse_with_restores("", "", "3@2,3@2", ""),
+               precondition_error);
+  EXPECT_THROW(parse_with_restores("0:1", "", "", "0:1,1:0"),
+               precondition_error);
+  // Epoch-0 restore of an epoch-0 failure is contradictory.
+  EXPECT_THROW(parse_with_restores("", "3", "3", ""), precondition_error);
+  EXPECT_THROW(parse_with_restores("0:1", "", "", "1:0"), precondition_error);
+  // ... but the same target with an epoch is a fine recovery timeline.
+  EXPECT_EQ(parse_with_restores("", "3", "3@1", "").restore_nodes[0].epoch, 1);
+}
+
+TEST(FaultSpecBuild, EpochZeroRestoresPinTargetsAliveAndTimedAreRejected) {
+  const auto base = make_topology("torus:6x6");
+  // Epoch-0 restores apply after the random draws: whatever the random
+  // node faults hit, processor 10 must end up alive.
+  const FaultSpec dice = parse_fault_spec("", "", "", 0, 6, 0, 13, "", "");
+  const auto rolled = build_fault_overlay(base, dice);
+  ASSERT_NE(rolled, nullptr);
+  EXPECT_EQ(rolled->num_failed_nodes(), 6);
+  const FaultSpec pinned = parse_fault_spec("", "", "", 0, 6, 0, 13, "10", "");
+  const auto overlay = build_fault_overlay(base, pinned);
+  ASSERT_NE(overlay, nullptr);
+  EXPECT_TRUE(overlay->is_alive(10));
+  // Same seed, same draws: only the pin can differ between the two runs.
+  EXPECT_EQ(overlay->num_failed_nodes(),
+            rolled->is_alive(10) ? 6 : 5);
+  // A restore of an untouched target is an accepted no-op...
+  const auto noop =
+      build_fault_overlay(base, parse_with_restores("0:1", "", "", "2:3"));
+  ASSERT_NE(noop, nullptr);
+  EXPECT_TRUE(noop->link_failed(0, 1));
+  EXPECT_FALSE(noop->link_failed(2, 3));
+  // ... and a timed restore needs an epoch-running command.
+  EXPECT_THROW(
+      build_fault_overlay(base, parse_with_restores("", "3", "3@4", "")),
+      precondition_error);
+}
+
 TEST(FaultSpecBuild, FatTreeRejectsLinkOperations) {
   const auto base = make_topology("fattree:3x2");
   // Processor-level link faults and degrades are unrepresentable on a

@@ -41,11 +41,15 @@
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "partition/partition.hpp"
+#include "runtime/chaos.hpp"
+#include "runtime/dynamic_lb.hpp"
 #include "runtime/evacuate.hpp"
 #include "runtime/lb_manager.hpp"
 #include "runtime/rank_reorder.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/table.hpp"
+#include "topo/components.hpp"
 #include "topo/factory.hpp"
 #include "topo/fault_spec.hpp"
 
@@ -104,6 +108,8 @@ void add_fault_options(CliParser& cli) {
   cli.add_option("fail-node", "failed processors p[,q...]", "");
   cli.add_option("degrade-link",
                  "degraded links a:b:health[,...], health in (0,1]", "");
+  cli.add_option("restore-node", "recovered processors p[@epoch][,...]", "");
+  cli.add_option("restore-link", "recovered links a:b[@epoch][,...]", "");
   cli.add_option("random-link-faults", "additional random link failures", "0");
   cli.add_option("random-node-faults", "additional random node failures", "0");
   cli.add_option("random-degrades", "additional random link degradations",
@@ -111,17 +117,30 @@ void add_fault_options(CliParser& cli) {
   cli.add_option("fault-seed", "RNG seed for random fault selection", "42");
 }
 
+topo::FaultSpec parse_fault_options(const CliParser& cli) {
+  return topo::parse_fault_spec(
+      cli.str("fail-link"), cli.str("fail-node"), cli.str("degrade-link"),
+      cli.integer("random-link-faults"), cli.integer("random-node-faults"),
+      cli.integer("random-degrades"),
+      static_cast<std::uint64_t>(cli.integer("fault-seed")),
+      cli.str("restore-node"), cli.str("restore-link"));
+}
+
 /// Build the fault overlay described by the fault options, or null when no
 /// fault was requested (topo::parse_fault_spec/build_fault_overlay do the
 /// real work and are unit-tested directly).
 std::shared_ptr<topo::FaultOverlay> make_fault_overlay(
     const CliParser& cli, const topo::TopologyPtr& base) {
-  const topo::FaultSpec spec = topo::parse_fault_spec(
-      cli.str("fail-link"), cli.str("fail-node"), cli.str("degrade-link"),
-      cli.integer("random-link-faults"), cli.integer("random-node-faults"),
-      cli.integer("random-degrades"),
-      static_cast<std::uint64_t>(cli.integer("fault-seed")));
-  return topo::build_fault_overlay(base, spec);
+  return topo::build_fault_overlay(base, parse_fault_options(cli));
+}
+
+/// Open `path` for writing; throws io_error (CLI exit code 4) when the
+/// environment refuses.
+std::ofstream open_output(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good())
+    throw io_error("cannot open '" + path + "' for writing");
+  return os;
 }
 
 void print_fault_summary(const topo::FaultOverlay& overlay) {
@@ -187,11 +206,28 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   obs_out.report.set_meta("seed", cli.str("seed"));
 
   core::Mapping m;
+  std::vector<int> quarantined;
+  std::string partition_note;
   {
     obs::ScopedSpan root_span(simulate ? "cli/simulate" : "cli/map");
     if (overlay) {
-      // map_on_alive enforces tasks <= alive; dead processors stay empty.
-      m = core::map_on_alive(*strategy, g, *overlay, rng);
+      // Maps onto the primary component when the faults split the machine;
+      // on overflow the lightest communicators are quarantined unplaced.
+      const topo::ComponentSplit split = topo::connected_components(*overlay);
+      if (split.partitioned() &&
+          g.num_vertices() > static_cast<int>(split.primary().size())) {
+        TOPOMAP_REQUIRE(!simulate,
+                        "cannot simulate a partitioned machine whose primary "
+                        "component is too small for the workload — " +
+                            topo::describe_partition(*overlay, split));
+        core::PartitionedMapResult pr =
+            core::map_on_largest_component(*strategy, g, *overlay, rng);
+        m = std::move(pr.mapping);
+        quarantined = std::move(pr.quarantined);
+        partition_note = topo::describe_partition(*overlay, split);
+      } else {
+        m = core::map_on_alive(*strategy, g, *overlay, rng);
+      }
     } else {
       if (g.num_vertices() != topo->size() &&
           !(strategy->supports_oversubscription() &&
@@ -205,14 +241,35 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
       m = strategy->map(g, *topo, rng);
     }
   }
-  obs_out.meta("hop_bytes", core::hop_bytes(g, machine, m));
-  obs_out.meta("hops_per_byte", core::hops_per_byte(g, machine, m));
+  // Metrics run on the placed tasks (everything, absent quarantine).
+  const graph::TaskGraph* metric_g = &g;
+  core::Mapping metric_m = m;
+  graph::Subgraph placed_view;
+  if (!quarantined.empty()) {
+    std::vector<int> placed_ids;
+    for (int t = 0; t < g.num_vertices(); ++t)
+      if (m[static_cast<std::size_t>(t)] != core::kUnassigned)
+        placed_ids.push_back(t);
+    placed_view = graph::induced_subgraph(g, placed_ids);
+    metric_g = &placed_view.graph;
+    metric_m.clear();
+    for (int t : placed_ids)
+      metric_m.push_back(m[static_cast<std::size_t>(t)]);
+  }
+  obs_out.meta("hop_bytes", core::hop_bytes(*metric_g, machine, metric_m));
+  obs_out.meta("hops_per_byte",
+               core::hops_per_byte(*metric_g, machine, metric_m));
 
   std::cout << "workload:       " << g.label() << " (" << g.num_edges()
             << " edges, " << g.total_comm_bytes() << " B/iter)\n"
             << "machine:        " << topo->name() << "\n";
   if (overlay) print_fault_summary(*overlay);
-  print_mapping_report(g, machine, m, strategy->name());
+  if (!partition_note.empty())
+    std::cout << "partition:      " << partition_note << "\n"
+              << "quarantined:    " << quarantined.size() << " of "
+              << g.num_vertices()
+              << " tasks left unplaced (lightest communicators)\n";
+  print_mapping_report(*metric_g, machine, metric_m, strategy->name());
 
   if (simulate) {
     netsim::AppParams app;
@@ -245,8 +302,15 @@ int cmd_map(int argc, const char* const* argv, bool simulate) {
   }
 
   if (const std::string out = cli.str("output"); !out.empty()) {
-    std::ofstream os(out);
-    rts::write_rank_mapping(os, m);
+    std::ofstream os = open_output(out);
+    if (quarantined.empty()) {
+      rts::write_rank_mapping(os, m);
+    } else {
+      // Placed tasks only; quarantined ids live in the report above.
+      for (int t = 0; t < g.num_vertices(); ++t)
+        if (m[static_cast<std::size_t>(t)] != core::kUnassigned)
+          os << t << ' ' << m[static_cast<std::size_t>(t)] << '\n';
+    }
     std::cout << "mapping written to " << out << "\n";
   }
   obs_out.finish();
@@ -309,11 +373,11 @@ void write_contention_report(
     doc.set("diff", std::move(d));
   }
   std::ofstream os(path);
-  TOPOMAP_REQUIRE(os.good(),
-                  "explain: cannot open '" + path + "' for writing");
+  if (!os.good())
+    throw io_error("explain: cannot open '" + path + "' for writing");
   os << doc.dump(2) << "\n";
   os.flush();
-  TOPOMAP_REQUIRE(os.good(), "explain: failed writing '" + path + "'");
+  if (!os.good()) throw io_error("explain: failed writing '" + path + "'");
 }
 
 int cmd_explain(int argc, const char* const* argv) {
@@ -503,7 +567,7 @@ int cmd_explain(int argc, const char* const* argv) {
     std::cout << "report written to " << report_path << "\n";
   }
   if (const std::string out = cli.str("output"); !out.empty()) {
-    std::ofstream os(out);
+    std::ofstream os = open_output(out);
     rts::write_rank_mapping(os, m);
     std::cout << "mapping written to " << out << "\n";
   }
@@ -534,7 +598,7 @@ int cmd_partition(int argc, const char* const* argv) {
             << "imbalance:  " << part::load_imbalance(g, r.assignment, k)
             << "\n";
   if (const std::string out = cli.str("output"); !out.empty()) {
-    std::ofstream os(out);
+    std::ofstream os = open_output(out);
     for (std::size_t t = 0; t < r.assignment.size(); ++t)
       os << t << ' ' << r.assignment[t] << '\n';
     std::cout << "assignment written to " << out << "\n";
@@ -570,7 +634,7 @@ int cmd_pipeline(int argc, const char* const* argv) {
             << "phase 2:        " << config.mapper->name()
             << ", hops-per-byte " << r.hops_per_byte << "\n";
   if (const std::string out = cli.str("output"); !out.empty()) {
-    std::ofstream os(out);
+    std::ofstream os = open_output(out);
     for (std::size_t obj = 0; obj < r.object_to_proc.size(); ++obj)
       os << obj << ' ' << r.object_to_proc[obj] << '\n';
     std::cout << "placement written to " << out << "\n";
@@ -655,9 +719,153 @@ int cmd_evacuate(int argc, const char* const* argv) {
                     : 1.0)
             << "\n";
   if (const std::string out = cli.str("output"); !out.empty()) {
-    std::ofstream os(out);
+    std::ofstream os = open_output(out);
     rts::write_rank_mapping(os, cmp.evac.mapping);
     std::cout << "repaired mapping written to " << out << "\n";
+  }
+  obs_out.finish();
+  return 0;
+}
+
+int cmd_chaos(int argc, const char* const* argv) {
+  CliParser cli(
+      "soak the dynamic runtime under a seeded fault/recovery timeline: "
+      "correlated bursts, degrades, repair crews, transient partitions");
+  cli.add_option("tasks", "workload spec (objects >= processors)", "md:6x6x5");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("strategy", "phase-2 mapper", "topolb+refine");
+  cli.add_option("partitioner", "phase-1 partitioner", "multilevel");
+  cli.add_option("policy", "scratch | incremental", "incremental");
+  cli.add_option("epochs", "LB epochs to soak", "200");
+  cli.add_option("seed", "RNG seed for drift and mapping", "1");
+  cli.add_option("chaos", "chaos timeline spec seed:rate:burst",
+                 "42:0.3:0.05");
+  cli.add_option("load-drift", "per-epoch load drift in [0,1)", "0.3");
+  cli.add_option("comm-drift", "per-epoch communication drift in [0,1)",
+                 "0.15");
+  cli.add_option("plane-rows",
+                 "distance-plane rows per validation (0 = all alive rows)",
+                 "0");
+  cli.add_flag("no-validate", "skip the per-event/per-epoch self-validation");
+  cli.add_option("output", "write final 'object processor' lines here", "");
+  add_fault_options(cli);
+  add_obs_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  ObsOutputs obs_out;
+  obs_out.init(cli);
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const auto topo = topo::make_topology(cli.str("topology"));
+
+  rts::DynamicLBConfig config;
+  config.epochs = static_cast<int>(cli.integer("epochs"));
+  config.load_drift = cli.real("load-drift");
+  config.comm_drift = cli.real("comm-drift");
+  config.resilience.validate = !cli.flag("no-validate");
+  config.resilience.plane_rows = static_cast<int>(cli.integer("plane-rows"));
+  config.pipeline.partitioner = part::make_partitioner(cli.str("partitioner"));
+  config.pipeline.mapper = core::make_strategy(cli.str("strategy"));
+  const std::string policy = cli.str("policy");
+  if (policy == "scratch")
+    config.policy = rts::RemapPolicy::kScratch;
+  else
+    TOPOMAP_REQUIRE(policy == "incremental",
+                    "unknown policy '" + policy +
+                        "' (want scratch | incremental)");
+
+  // Explicit fault flags become strict events (epoch 0 for faults, the
+  // given @epoch for restores); the chaos generator supplies the random
+  // timeline, so the --random-* counts are rejected here.
+  const topo::FaultSpec spec = parse_fault_options(cli);
+  TOPOMAP_REQUIRE(spec.random_link_faults == 0 &&
+                      spec.random_node_faults == 0 &&
+                      spec.random_degrades == 0,
+                  "chaos generates its own random faults — drop the "
+                  "--random-* flags and tune --chaos=seed:rate:burst");
+  for (const auto& l : spec.fail_links)
+    config.events.push_back({0, rts::EventKind::kLinkFail, l.first, l.second});
+  for (int p : spec.fail_nodes)
+    config.events.push_back({0, rts::EventKind::kNodeFail, p});
+  for (const topo::LinkDegradeSpec& d : spec.degrades)
+    config.events.push_back(
+        {0, rts::EventKind::kLinkDegrade, d.a, d.b, d.health});
+  for (const topo::NodeRestoreSpec& r : spec.restore_nodes)
+    config.events.push_back({r.epoch, rts::EventKind::kNodeRestore, r.p});
+  for (const topo::LinkRestoreSpec& r : spec.restore_links)
+    config.events.push_back({r.epoch, rts::EventKind::kLinkRestore, r.a, r.b});
+
+  rts::ChaosConfig chaos_cfg = rts::parse_chaos_spec(cli.str("chaos"));
+  chaos_cfg.epochs = config.epochs;
+  const rts::ChaosSchedule schedule =
+      rts::make_chaos_schedule(*topo, chaos_cfg);
+  config.events.insert(config.events.end(), schedule.events.begin(),
+                       schedule.events.end());
+
+  obs_out.report.set_meta("command", "chaos");
+  obs_out.report.set_meta("workload", g.label());
+  obs_out.report.set_meta("machine", topo->name());
+  obs_out.report.set_meta("strategy", config.pipeline.mapper->name());
+  obs_out.report.set_meta("seed", cli.str("seed"));
+  obs_out.report.set_meta("chaos", cli.str("chaos"));
+
+  rts::DynamicLBRun run;
+  {
+    obs::ScopedSpan root_span("cli/chaos");
+    run = rts::run_dynamic_lb_detailed(g, *topo, config, rng);
+  }
+
+  double alive_sum = 0.0;
+  double active_sum = 0.0;
+  double hpb_sum = 0.0;
+  long long migrations = 0;
+  long long rows_repaired = 0;
+  for (const rts::DynamicEpochStats& s : run.history) {
+    alive_sum += s.alive_procs;
+    active_sum += g.num_vertices() - s.quarantined;
+    hpb_sum += s.hops_per_byte;
+    migrations += s.migrations;
+    rows_repaired += s.plane_rows_repaired;
+  }
+  const double epochs = static_cast<double>(run.history.size());
+  const double machine_avail = alive_sum / (epochs * topo->size());
+  const double task_avail = active_sum / (epochs * g.num_vertices());
+
+  std::cout << "workload:        " << g.label() << " (" << g.num_vertices()
+            << " objects, virtualization "
+            << static_cast<double>(g.num_vertices()) / topo->size() << ")\n"
+            << "machine:         " << topo->name() << "\n"
+            << "policy:          " << policy << ", " << config.epochs
+            << " epochs\n"
+            << "chaos:           " << cli.str("chaos") << " — "
+            << schedule.failures << " failures, " << schedule.degrades
+            << " degrades, " << schedule.restores << " restores, "
+            << schedule.bursts << " bursts\n"
+            << "events:          " << run.events_applied << " applied, "
+            << run.events_skipped << " skipped\n"
+            << "availability:    machine " << machine_avail << ", tasks "
+            << task_avail << "\n"
+            << "partitions:      " << run.partitioned_epochs
+            << " partitioned epochs, max " << run.max_quarantined
+            << " objects quarantined\n"
+            << "migrations:      " << migrations << " total\n"
+            << "hops-per-byte:   mean " << hpb_sum / epochs << ", final "
+            << run.history.back().hops_per_byte << "\n"
+            << "plane:           " << rows_repaired
+            << " rows repaired incrementally, " << run.plane_rebuilds
+            << " rebuild fallbacks, " << run.violations
+            << " violations caught\n";
+  obs_out.meta("machine_availability", machine_avail);
+  obs_out.meta("task_availability", task_avail);
+  obs_out.meta("migrations", static_cast<double>(migrations));
+  obs_out.meta("plane_rebuilds", run.plane_rebuilds);
+
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os = open_output(out);
+    for (std::size_t obj = 0; obj < run.final_placement.size(); ++obj)
+      os << obj << ' ' << run.final_placement[obj] << '\n';
+    std::cout << "final placement written to " << out << "\n";
   }
   obs_out.finish();
   return 0;
@@ -673,7 +881,11 @@ void usage() {
       "  partition  split a workload into balanced groups\n"
       "  pipeline   partition + map (more objects than processors)\n"
       "  evacuate   map, inject faults, migrate only stranded tasks\n"
-      "  explain    per-link contention attribution, timeline, and diff\n";
+      "  explain    per-link contention attribution, timeline, and diff\n"
+      "  chaos      soak the dynamic runtime under seeded faults/recovery\n"
+      "\n"
+      "exit codes: 0 success, 1 usage, 2 invalid input (precondition),\n"
+      "            3 internal invariant violation, 4 I/O failure\n";
 }
 
 }  // namespace
@@ -694,6 +906,7 @@ int main(int argc, char** argv) {
     if (command == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
     if (command == "evacuate") return cmd_evacuate(sub_argc, sub_argv);
     if (command == "explain") return cmd_explain(sub_argc, sub_argv);
+    if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       usage();
       return 0;
@@ -701,6 +914,15 @@ int main(int argc, char** argv) {
     std::cerr << "unknown command: " << command << "\n";
     usage();
     return 1;
+  } catch (const topomap::precondition_error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const topomap::invariant_error& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 3;
+  } catch (const topomap::io_error& e) {
+    std::cerr << "I/O error: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
