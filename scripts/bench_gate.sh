@@ -34,6 +34,7 @@ run ablation_strategy_shootout
 run ablation_soft_faults
 run ablation_hier_scale --full=0
 run ablation_chaos_soak --epochs=60
+run ablation_optimality_gap
 
 if [ "$MODE" = "--update" ]; then
   python3 scripts/bench_compare.py rollup --dir "$TMP/bench_results" \

@@ -2,9 +2,10 @@
 # CI driver: the full suite in release, then the labeled slices under
 # ASan/UBSan (TOPOMAP_SANITIZE=ON).
 #
-# The sanitizer pass runs label by label — unit, property, fault — so a
-# failure names the tier that broke, and the (slower) instrumented binaries
-# only run the suites worth instrumenting instead of every sweep twice.
+# The sanitizer pass runs label by label — unit, property, fault, hier,
+# chaos, oracle — so a failure names the tier that broke, and the (slower)
+# instrumented binaries only run the suites worth instrumenting instead of
+# every sweep twice.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -16,6 +17,11 @@ echo "=== release: configure + build + full suite ==="
 cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci-release -j "$JOBS"
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "=== oracle slice (release): exact ground truth + optimality gaps ==="
+# Brute-force/B&B agreement and every strategy's admissibility bound; fast
+# enough to call out explicitly so an optimality regression names itself.
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L oracle
 
 echo "=== bench regression gate (deterministic tables vs baseline) ==="
 # Non-timing gate: wall-clock columns are dropped at rollup, so only
@@ -61,7 +67,7 @@ echo "obs slice ok: artifacts validate, mapping identical to release build"
 echo "=== sanitize (ASan/UBSan): labeled slices ==="
 cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
 cmake --build build-ci-sanitize -j "$JOBS"
-for label in unit property fault hier chaos; do
+for label in unit property fault hier chaos oracle; do
   echo "--- ctest -L $label ---"
   ctest --test-dir build-ci-sanitize --output-on-failure -j "$JOBS" -L "$label"
 done

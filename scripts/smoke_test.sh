@@ -130,6 +130,27 @@ grep -Eq 'events: *[1-9][0-9]* applied' "$TMP/chaos.log"
 grep -Eq '0 violations caught' "$TMP/chaos.log"
 echo "ok: chaos soak         60 epochs, validated, thread-invariant"
 
+# Exact oracle end-to-end: `topomap optimal` must solve an 8-task stencil
+# on a same-shape mesh to the provable optimum (a perfect embedding: every
+# edge one hop, hop-bytes == total bytes == 10 edges * 1024 B), and an
+# independent topolb map of the same instance can never beat it.
+"$CLI" optimal --tasks=stencil2d:4x2 --topology=mesh:4x2 --compare=topolb \
+  --seed=7 --output="$TMP/opt.map" | tee "$TMP/opt.log" >/dev/null
+check_mapping "$TMP/opt.map" 8
+grep -Eq 'hop-bytes: *10240' "$TMP/opt.log"
+grep -Eq 'optimality gap' "$TMP/opt.log"
+"$CLI" map --strategy=topolb --tasks=stencil2d:4x2 --topology=mesh:4x2 \
+  --seed=7 | tee "$TMP/optmap.log" >/dev/null
+OPT_HB="$(sed -nE 's/^hop-bytes: *([0-9.]+).*/\1/p' "$TMP/opt.log")"
+MAP_HB="$(sed -nE 's/^hop-bytes: *([0-9.]+).*/\1/p' "$TMP/optmap.log")"
+awk -v opt="$OPT_HB" -v strat="$MAP_HB" 'BEGIN {
+  if (opt == "" || strat == "" || opt + 0 > strat + 0) {
+    print "FAIL: oracle hop-bytes " opt " vs topolb " strat
+    exit 1
+  }
+}'
+echo "ok: optimal oracle     stencil2d:4x2 solved exactly (<= topolb)"
+
 # Exit-code taxonomy: 0 ok, 1 usage, 2 bad input (precondition), 3 internal
 # invariant, 4 I/O failure — sweep scripts branch on these.
 expect_rc() {  # expected-rc, description, command...
@@ -147,9 +168,27 @@ expect_rc 2 "malformed fault spec" "$CLI" map --tasks=stencil2d:4x4 \
   --topology=torus:4x4 --fail-link=0
 expect_rc 2 "partitioned simulate" "$CLI" simulate --tasks=ring:4 \
   --topology=mesh:5 --fail-node=2
+expect_rc 2 "oversized oracle instance" "$CLI" optimal \
+  --tasks=stencil2d:4x4 --topology=torus:4x4
 expect_rc 4 "unwritable output" "$CLI" map --tasks=stencil2d:4x4 \
   --topology=torus:4x4 --output=/nonexistent-dir/out.map
 echo "ok: exit codes         1 usage / 2 precondition / 4 io"
+
+# Self-validation drills: each documented corruption class must be caught
+# by core::validate_state and surfaced as an invariant error — exit code 3
+# with the violation named (the negative paths of tests/test_validate_state
+# proven end to end through the CLI taxonomy).
+expect_rc 3 "placement drill" "$CLI" chaos --drill=placement
+expect_rc 3 "quarantine drill" "$CLI" chaos --drill=quarantine
+expect_rc 3 "plane drill" "$CLI" chaos --drill=plane
+expect_rc 2 "unknown drill kind" "$CLI" chaos --drill=bogus
+"$CLI" chaos --drill=placement > "$TMP/drill.log" 2>&1 || true
+grep -q 'placed on dead processor' "$TMP/drill.log"
+"$CLI" chaos --drill=quarantine > "$TMP/drill.log" 2>&1 || true
+grep -q 'is active but unplaced' "$TMP/drill.log"
+"$CLI" chaos --drill=plane > "$TMP/drill.log" 2>&1 || true
+grep -q 'plane scale' "$TMP/drill.log"
+echo "ok: validation drills  placement/quarantine/plane caught, exit 3"
 
 # Partition tolerance: a split machine maps what fits on the primary
 # component and quarantines the rest instead of refusing.

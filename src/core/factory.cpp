@@ -3,6 +3,7 @@
 #include "core/cache_handle.hpp"
 #include "core/hier_topo_lb.hpp"
 #include "core/link_refine.hpp"
+#include "core/optimal_lb.hpp"
 #include "core/recursive_map.hpp"
 #include "core/refine_topo_lb.hpp"
 #include "core/strategy.hpp"
@@ -55,6 +56,9 @@ StrategyPtr make_with_handle(const std::string& spec_in, DistanceMode mode,
   if (spec == "topolb3")
     return std::make_shared<TopoLB>(EstimationOrder::kThird, mode, cache);
   if (spec == "recursive") return std::make_shared<RecursiveBisectionLB>();
+  // The exact oracle reads its own dense plane and ignores the distance
+  // mode/cache: it never participates in the cached-vs-virtual suite.
+  if (spec == "optimal") return std::make_shared<OptimalLB>();
   if (spec == "anneal")
     return std::make_shared<AnnealingLB>(AnnealingOptions{}, mode, cache);
   if (spec == "anneal-warm") {

@@ -62,6 +62,8 @@ using StrategyPtr = std::shared_ptr<const MappingStrategy>;
 ///   "topolb1"            TopoLB, first-order estimation
 ///   "topolb3"            TopoLB, third-order estimation
 ///   "recursive"          recursive dual-bisection mapper (extension)
+///   "optimal"            exact branch-and-bound oracle (core/optimal_lb.hpp;
+///                        <= 12 tasks, throws precondition_error beyond)
 ///   "hier"               multilevel coarsen/map/uncoarsen (HierTopoLB);
 ///                        accepts n >= p and scales to million-task graphs
 ///   "hier+refine"        HierTopoLB with a final refinement stage (full

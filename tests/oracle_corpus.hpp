@@ -1,0 +1,152 @@
+// Seeded corpus of small mapping instances for the exact-optimal oracle
+// (core/optimal_lb.hpp).  Shared by tests/test_optimal_oracle.cpp,
+// tests/test_mapping_invariances.cpp, and bench/ablation_optimality_gap.cpp
+// so the gap numbers in CI, the invariance properties, and the committed
+// BENCH_mapping.json columns all talk about the same instances.
+//
+// Every edge weight is an integer number of bytes.  Distances are integer
+// plane entries (or integer fixed-point units under soft faults), so each
+// bytes * distance product and every partial sum is exact in double — the
+// oracle's value, the brute-force enumeration's value, and every
+// strategy's hop_bytes are comparable with operator== rather than a
+// tolerance.
+//
+// Shapes: stencils, a ring, a clique, a butterfly, and a seeded
+// integer-weight Erdős–Rényi graph, on torus/mesh/hypercube machines,
+// pristine and with injected faults (degraded link, failed link, failed
+// node).  `square` marks instances every bijective strategy can run
+// (tasks == usable processors == total processors); `brute` marks
+// instances small enough (n <= 8) for full permutation enumeration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/task_graph.hpp"
+#include "support/rng.hpp"
+#include "topo/fault_overlay.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/topology.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::oracle {
+
+struct OracleInstance {
+  std::string name;
+  graph::TaskGraph g;
+  topo::TopologyPtr machine;
+  /// tasks == processors and none are dead: every bijective strategy runs.
+  bool square = false;
+  /// n <= 8: cross-checked against brute-force permutation enumeration.
+  bool brute = false;
+};
+
+/// Seeded Erdős–Rényi graph with integer edge weights: each pair joins
+/// with probability 1/2, bytes = 32 * (1 + roll in [0, 7]).  A fixed tour
+/// 0-1-...-(n-1) keeps it connected without disturbing determinism.
+inline graph::TaskGraph integer_er_graph(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::TaskGraph::Builder b("er-int:" + std::to_string(n));
+  b.add_vertices(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const bool tour = v == u + 1;
+      if (!tour && !rng.bernoulli(0.5)) continue;
+      b.add_edge(u, v, 32.0 * static_cast<double>(1 + rng.uniform_int(0, 7)));
+    }
+  return std::move(b).build();
+}
+
+/// The corpus, rebuilt identically on every call (everything is seeded).
+inline std::vector<OracleInstance> oracle_corpus() {
+  using topo::FaultOverlay;
+  using topo::Hypercube;
+  using topo::TorusMesh;
+  std::vector<OracleInstance> corpus;
+
+  // --- pristine machines -------------------------------------------------
+  corpus.push_back({"stencil3x2/torus3x2",
+                    graph::stencil_2d(3, 2, 64.0),
+                    std::make_shared<TorusMesh>(TorusMesh::torus({3, 2})),
+                    /*square=*/true, /*brute=*/true});
+  corpus.push_back({"stencil4x2/mesh4x2",
+                    graph::stencil_2d(4, 2, 128.0),
+                    std::make_shared<TorusMesh>(TorusMesh::mesh({4, 2})),
+                    /*square=*/true, /*brute=*/true});
+  corpus.push_back({"ring8/torus2x2x2",
+                    graph::ring(8, 96.0),
+                    std::make_shared<TorusMesh>(TorusMesh::torus({2, 2, 2})),
+                    /*square=*/true, /*brute=*/true});
+  corpus.push_back({"complete6/mesh3x2",
+                    graph::complete(6, 256.0),
+                    std::make_shared<TorusMesh>(TorusMesh::mesh({3, 2})),
+                    /*square=*/true, /*brute=*/true});
+  corpus.push_back({"butterfly8/hypercube3",
+                    graph::butterfly(3, 512.0),
+                    std::make_shared<Hypercube>(3),
+                    /*square=*/true, /*brute=*/true});
+  corpus.push_back({"er8/torus4x2",
+                    integer_er_graph(8, 0xC0FFEEULL),
+                    std::make_shared<TorusMesh>(TorusMesh::torus({4, 2})),
+                    /*square=*/true, /*brute=*/true});
+  // n in (8, 12]: oracle-sized but beyond brute-force enumeration.
+  corpus.push_back({"stencil3x3/torus3x3",
+                    graph::stencil_2d(3, 3, 64.0),
+                    std::make_shared<TorusMesh>(TorusMesh::torus({3, 3})),
+                    /*square=*/true, /*brute=*/false});
+  corpus.push_back({"stencil4x3/mesh4x3",
+                    graph::stencil_2d(4, 3, 64.0),
+                    std::make_shared<TorusMesh>(TorusMesh::mesh({4, 3})),
+                    /*square=*/true, /*brute=*/false});
+
+  // --- degraded machines (FaultOverlay) ----------------------------------
+  // Soft fault: one half-rate link.  Plane entries switch to fixed-point
+  // units (kHealthCostOne per healthy hop) but stay integers, so exact
+  // comparisons still hold.  No processor died: still square.
+  {
+    auto base = std::make_shared<TorusMesh>(TorusMesh::mesh({4, 2}));
+    auto ov = std::make_shared<FaultOverlay>(base);
+    ov->degrade_link(0, 1, 0.5);
+    corpus.push_back({"stencil4x2/mesh4x2+degrade01",
+                      graph::stencil_2d(4, 2, 128.0), std::move(ov),
+                      /*square=*/true, /*brute=*/true});
+  }
+  // Hard link fault: the 0-1 link of the 2x2x2 torus is gone; detours
+  // reroute around it.  Still square (all processors alive).
+  {
+    auto base = std::make_shared<TorusMesh>(TorusMesh::torus({2, 2, 2}));
+    auto ov = std::make_shared<FaultOverlay>(base);
+    ov->fail_link(0, 1);
+    corpus.push_back({"ring8/torus2x2x2-link01",
+                      graph::ring(8, 96.0), std::move(ov),
+                      /*square=*/true, /*brute=*/true});
+  }
+  // Node fault: 6 tasks on an 8-processor mesh with one dead processor —
+  // an injective (not bijective) instance only the oracle handles.
+  {
+    auto base = std::make_shared<TorusMesh>(TorusMesh::mesh({4, 2}));
+    auto ov = std::make_shared<FaultOverlay>(base);
+    ov->fail_node(5);
+    corpus.push_back({"stencil3x2/mesh4x2-node5",
+                      graph::stencil_2d(3, 2, 64.0), std::move(ov),
+                      /*square=*/false, /*brute=*/true});
+  }
+  return corpus;
+}
+
+/// The 11 bijective strategy specs the oracle gates (the full spec list of
+/// tests/test_core_strategies.cpp; hier variants are excluded because they
+/// target oversubscription, not square instances).
+inline const std::vector<std::string>& gated_strategy_specs() {
+  static const std::vector<std::string> specs = {
+      "random",    "greedy",         "topocent",
+      "topolb",    "topolb1",        "topolb3",
+      "recursive", "anneal",         "anneal-warm",
+      "topolb+refine", "topolb+linkrefine"};
+  return specs;
+}
+
+}  // namespace topomap::oracle

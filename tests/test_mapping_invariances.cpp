@@ -1,0 +1,197 @@
+// Metamorphic invariance properties of every gated mapping strategy:
+//
+//  * task relabeling   running a strategy on a vertex-permuted copy of the
+//                      graph and transporting its mapping back must give
+//                      the same hop-bytes as evaluating the permuted pair
+//                      directly — relabeling is pure renaming;
+//  * machine automorphisms   composing any mapping with a distance-
+//                      preserving processor permutation (torus translation,
+//                      mesh reflection, square-grid axis swap) never
+//                      changes hop-bytes;
+//  * thread count      the same spec with the same seed produces the same
+//                      mapping at 1 and at 4 pool threads;
+//  * oracle invariance the exact optimum is invariant under task
+//                      relabeling (the search order changes, the value
+//                      cannot).
+//
+// All graphs carry integer byte weights against integer distances, so the
+// equalities are exact (operator==, no tolerance).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/metrics.hpp"
+#include "core/optimal_lb.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "tests/oracle_corpus.hpp"
+#include "topo/distance_cache.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::core {
+namespace {
+
+using oracle::gated_strategy_specs;
+using topo::TorusMesh;
+
+/// The same graph with vertex v renamed to perm[v].
+graph::TaskGraph relabel(const graph::TaskGraph& g,
+                         const std::vector<int>& perm) {
+  graph::TaskGraph::Builder b(g.label() + "+relabel");
+  b.add_vertices(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v)
+    b.set_vertex_weight(perm[static_cast<std::size_t>(v)], g.vertex_weight(v));
+  for (const graph::UndirectedEdge& e : g.edges())
+    b.add_edge(perm[static_cast<std::size_t>(e.a)],
+               perm[static_cast<std::size_t>(e.b)], e.bytes);
+  return std::move(b).build();
+}
+
+/// Processor permutation from a per-coordinate map on a TorusMesh.
+template <typename CoordMap>
+std::vector<int> grid_automorphism(const TorusMesh& t, CoordMap&& f) {
+  std::vector<int> sigma(static_cast<std::size_t>(t.size()));
+  for (int p = 0; p < t.size(); ++p)
+    sigma[static_cast<std::size_t>(p)] = t.index(f(t.coords(p)));
+  return sigma;
+}
+
+/// A deterministic non-trivial permutation of [0, n).
+std::vector<int> test_permutation(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.permutation(n);
+}
+
+struct Fixture {
+  graph::TaskGraph g;
+  TorusMesh machine;
+  std::string name;
+};
+
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> f;
+  f.push_back({graph::stencil_2d(4, 3, 64.0), TorusMesh::torus({4, 3}),
+               "stencil4x3/torus4x3"});
+  f.push_back({oracle::integer_er_graph(12, 0xBEEFULL),
+               TorusMesh::mesh({4, 3}), "er12/mesh4x3"});
+  return f;
+}
+
+TEST(MappingInvariances, TaskRelabelingIsPureRenaming) {
+  const int saved = support::num_threads();
+  for (int threads : {1, 4}) {
+    support::set_num_threads(threads);
+    for (const Fixture& fx : fixtures()) {
+      const topo::DistanceCache plane(fx.machine);
+      const std::vector<int> perm =
+          test_permutation(fx.g.num_vertices(), 0xFACEULL);
+      const graph::TaskGraph relabeled = relabel(fx.g, perm);
+      for (const std::string& spec : gated_strategy_specs()) {
+        SCOPED_TRACE(fx.name + " / " + spec + " @" + std::to_string(threads));
+        Rng rng(99);
+        const Mapping m = make_strategy(spec)->map(relabeled, fx.machine, rng);
+        // Transport back: original task v is relabeled vertex perm[v].
+        Mapping transported(m.size());
+        for (int v = 0; v < fx.g.num_vertices(); ++v)
+          transported[static_cast<std::size_t>(v)] =
+              m[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])];
+        EXPECT_EQ(hop_bytes(fx.g, plane, transported),
+                  hop_bytes(relabeled, plane, m));
+      }
+    }
+  }
+  support::set_num_threads(saved);
+}
+
+TEST(MappingInvariances, MachineAutomorphismsPreserveHopBytes) {
+  const int saved = support::num_threads();
+  for (int threads : {1, 4}) {
+    support::set_num_threads(threads);
+    // Torus: translation along each wrapped axis.  Mesh: reflection of
+    // each open axis.  Square torus: the two axes swap.
+    const graph::TaskGraph g = graph::stencil_2d(3, 3, 64.0);
+    const TorusMesh torus = TorusMesh::torus({3, 3});
+    const TorusMesh mesh = TorusMesh::mesh({3, 3});
+    std::vector<std::pair<std::string, std::vector<int>>> autos;
+    autos.emplace_back("translate-x", grid_automorphism(torus, [](std::vector<int> c) {
+      c[0] = (c[0] + 1) % 3;
+      return c;
+    }));
+    autos.emplace_back("translate-y", grid_automorphism(torus, [](std::vector<int> c) {
+      c[1] = (c[1] + 2) % 3;
+      return c;
+    }));
+    autos.emplace_back("swap-axes", grid_automorphism(torus, [](std::vector<int> c) {
+      std::swap(c[0], c[1]);
+      return c;
+    }));
+    std::vector<std::pair<std::string, std::vector<int>>> mesh_autos;
+    mesh_autos.emplace_back("reflect-x", grid_automorphism(mesh, [](std::vector<int> c) {
+      c[0] = 2 - c[0];
+      return c;
+    }));
+    mesh_autos.emplace_back("reflect-y", grid_automorphism(mesh, [](std::vector<int> c) {
+      c[1] = 2 - c[1];
+      return c;
+    }));
+    const auto check_machine =
+        [&](const TorusMesh& machine,
+            const std::vector<std::pair<std::string, std::vector<int>>>&
+                machine_autos) {
+          const topo::DistanceCache plane(machine);
+          for (const std::string& spec : gated_strategy_specs()) {
+            Rng rng(1234);
+            const Mapping m = make_strategy(spec)->map(g, machine, rng);
+            const double base = hop_bytes(g, plane, m);
+            for (const auto& [aname, sigma] : machine_autos) {
+              SCOPED_TRACE(machine.name() + " / " + spec + " / " + aname +
+                           " @" + std::to_string(threads));
+              Mapping composed(m.size());
+              for (std::size_t v = 0; v < m.size(); ++v)
+                composed[v] = sigma[static_cast<std::size_t>(m[v])];
+              EXPECT_EQ(hop_bytes(g, plane, composed), base);
+            }
+          }
+        };
+    check_machine(torus, autos);
+    check_machine(mesh, mesh_autos);
+  }
+  support::set_num_threads(saved);
+}
+
+TEST(MappingInvariances, MappingsAreIdenticalAtOneAndFourThreads) {
+  const int saved = support::num_threads();
+  for (const Fixture& fx : fixtures()) {
+    for (const std::string& spec : gated_strategy_specs()) {
+      SCOPED_TRACE(fx.name + " / " + spec);
+      support::set_num_threads(1);
+      Rng rng1(2026);
+      const Mapping serial = make_strategy(spec)->map(fx.g, fx.machine, rng1);
+      support::set_num_threads(4);
+      Rng rng4(2026);
+      const Mapping parallel = make_strategy(spec)->map(fx.g, fx.machine, rng4);
+      EXPECT_EQ(serial, parallel);
+    }
+  }
+  support::set_num_threads(saved);
+}
+
+TEST(MappingInvariances, OracleOptimumIsInvariantUnderTaskRelabeling) {
+  for (const oracle::OracleInstance& inst : oracle::oracle_corpus()) {
+    SCOPED_TRACE(inst.name);
+    const std::vector<int> perm =
+        test_permutation(inst.g.num_vertices(), 0xD00DULL);
+    const OptimalResult direct = find_optimal_mapping(inst.g, *inst.machine);
+    const OptimalResult renamed =
+        find_optimal_mapping(relabel(inst.g, perm), *inst.machine);
+    EXPECT_EQ(direct.hop_bytes, renamed.hop_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace topomap::core

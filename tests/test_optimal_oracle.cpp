@@ -1,0 +1,215 @@
+// Ground-truth tests for the exact-optimal oracle (core/optimal_lb.hpp):
+// brute-force agreement on every n <= 8 corpus instance, thread-count
+// determinism, symmetry-pruning equivalence, admissibility of every gated
+// strategy's optimality gap, and the oracle's failure taxonomy.
+//
+// Everything compares with operator== on doubles: the corpus uses integer
+// byte weights against integer plane distances, so every hop-bytes value
+// is an exactly-representable sum of exact products.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/metrics.hpp"
+#include "core/optimal_lb.hpp"
+#include "core/strategy.hpp"
+#include "graph/builders.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "tests/oracle_corpus.hpp"
+#include "topo/distance_cache.hpp"
+#include "topo/fault_overlay.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::core {
+namespace {
+
+using oracle::gated_strategy_specs;
+using oracle::oracle_corpus;
+using oracle::OracleInstance;
+
+OracleInstance corpus_instance(const std::string& name) {
+  for (OracleInstance& inst : oracle_corpus())
+    if (inst.name == name) return std::move(inst);
+  ADD_FAILURE() << "no corpus instance named " << name;
+  return {};
+}
+
+/// Exhaustive minimum over every injective task -> usable-processor
+/// assignment, via next_permutation over the usable processor list (each
+/// assignment revisited (usable - n)! times — harmless at these sizes).
+double brute_force_min(const graph::TaskGraph& g, const topo::Topology& t) {
+  const topo::DistanceCache plane(t);
+  std::vector<int> procs;
+  for (int q = 0; q < t.size(); ++q) procs.push_back(q);
+  if (const auto* ov = dynamic_cast<const topo::FaultOverlay*>(&t))
+    procs = ov->alive_procs();
+  const int n = g.num_vertices();
+  EXPECT_LE(n, static_cast<int>(procs.size()));
+  double best = std::numeric_limits<double>::infinity();
+  std::sort(procs.begin(), procs.end());
+  Mapping m(static_cast<std::size_t>(n));
+  do {
+    for (int task = 0; task < n; ++task)
+      m[static_cast<std::size_t>(task)] = procs[static_cast<std::size_t>(task)];
+    best = std::min(best, hop_bytes(g, plane, m));
+  } while (std::next_permutation(procs.begin(), procs.end()));
+  return best;
+}
+
+/// Injectivity onto usable processors — the oracle's output contract.
+void expect_injective_and_alive(const Mapping& m, const topo::Topology& t) {
+  std::vector<char> used(static_cast<std::size_t>(t.size()), 0);
+  const auto* ov = dynamic_cast<const topo::FaultOverlay*>(&t);
+  for (int q : m) {
+    ASSERT_GE(q, 0);
+    ASSERT_LT(q, t.size());
+    EXPECT_FALSE(used[static_cast<std::size_t>(q)]) << "processor reused";
+    used[static_cast<std::size_t>(q)] = 1;
+    if (ov != nullptr) {
+      EXPECT_TRUE(ov->is_alive(q));
+    }
+  }
+}
+
+TEST(OptimalOracle, MatchesBruteForceByteForByteOnEveryBruteInstance) {
+  for (const OracleInstance& inst : oracle_corpus()) {
+    if (!inst.brute) continue;
+    SCOPED_TRACE(inst.name);
+    const OptimalResult r = find_optimal_mapping(inst.g, *inst.machine);
+    expect_injective_and_alive(r.mapping, *inst.machine);
+    // Exact equality — same edge order, integer products, no tolerance.
+    EXPECT_EQ(r.hop_bytes, brute_force_min(inst.g, *inst.machine));
+    const topo::DistanceCache plane(*inst.machine);
+    EXPECT_EQ(r.hop_bytes, hop_bytes(inst.g, plane, r.mapping));
+  }
+}
+
+TEST(OptimalOracle, ResultIsByteIdenticalAtAnyThreadCount) {
+  const int saved = support::num_threads();
+  for (const OracleInstance& inst : oracle_corpus()) {
+    SCOPED_TRACE(inst.name);
+    support::set_num_threads(1);
+    const OptimalResult serial = find_optimal_mapping(inst.g, *inst.machine);
+    support::set_num_threads(4);
+    const OptimalResult parallel = find_optimal_mapping(inst.g, *inst.machine);
+    EXPECT_EQ(serial.mapping, parallel.mapping);
+    EXPECT_EQ(serial.hop_bytes, parallel.hop_bytes);
+    EXPECT_EQ(serial.nodes, parallel.nodes);
+    EXPECT_EQ(serial.pruned, parallel.pruned);
+    EXPECT_EQ(serial.root_candidates, parallel.root_candidates);
+  }
+  support::set_num_threads(saved);
+}
+
+TEST(OptimalOracle, SymmetryPruningNeverChangesTheOptimum) {
+  for (const OracleInstance& inst : oracle_corpus()) {
+    SCOPED_TRACE(inst.name);
+    OptimalOptions with;
+    OptimalOptions without;
+    without.symmetry = false;
+    const OptimalResult pruned = find_optimal_mapping(inst.g, *inst.machine, with);
+    const OptimalResult full = find_optimal_mapping(inst.g, *inst.machine, without);
+    EXPECT_EQ(pruned.hop_bytes, full.hop_bytes);
+    EXPECT_LE(pruned.root_candidates, full.root_candidates);
+    expect_injective_and_alive(full.mapping, *inst.machine);
+  }
+}
+
+TEST(OptimalOracle, EveryGatedStrategyIsBoundedBelowByTheOracle) {
+  for (const OracleInstance& inst : oracle_corpus()) {
+    if (!inst.square) continue;  // bijective strategies need tasks == procs
+    SCOPED_TRACE(inst.name);
+    const OptimalResult r = find_optimal_mapping(inst.g, *inst.machine);
+    const topo::DistanceCache plane(*inst.machine);
+    for (const std::string& spec : gated_strategy_specs()) {
+      SCOPED_TRACE(spec);
+      Rng rng(42);
+      const Mapping m = make_strategy(spec)->map(inst.g, *inst.machine, rng);
+      EXPECT_GE(hop_bytes(inst.g, plane, m), r.hop_bytes)
+          << spec << " beat the provable optimum — the oracle is broken";
+    }
+  }
+}
+
+TEST(OptimalOracle, FindsPerfectEmbeddingsOfStencilsOntoMatchingGrids) {
+  // A 2D stencil on a same-shape grid embeds with every edge at distance 1,
+  // so the optimum is exactly the total byte volume (hops-per-byte == 1).
+  for (const OracleInstance& inst : oracle_corpus()) {
+    if (inst.name.rfind("stencil", 0) != 0) continue;
+    if (const auto* ov =
+            dynamic_cast<const topo::FaultOverlay*>(inst.machine.get());
+        ov != nullptr && ov->has_faults())
+      continue;
+    SCOPED_TRACE(inst.name);
+    const OptimalResult r = find_optimal_mapping(inst.g, *inst.machine);
+    EXPECT_EQ(r.hop_bytes, inst.g.total_comm_bytes());
+  }
+}
+
+TEST(OptimalOracle, RejectsInstancesBeyondTheFactorialCap) {
+  const auto g = graph::stencil_2d(4, 4, 64.0);  // 16 tasks
+  const auto t = topo::TorusMesh::torus({4, 4});
+  EXPECT_THROW(find_optimal_mapping(g, t), precondition_error);
+}
+
+TEST(OptimalOracle, ExhaustedNodeBudgetThrowsInsteadOfLying) {
+  const OracleInstance inst = corpus_instance("er8/torus4x2");
+  OptimalOptions opts;
+  opts.node_budget = 4;
+  EXPECT_THROW(find_optimal_mapping(inst.g, *inst.machine, opts),
+               precondition_error);
+}
+
+TEST(OptimalOracle, MoreTasksThanUsableProcessorsIsAPreconditionError) {
+  auto base = std::make_shared<topo::TorusMesh>(topo::TorusMesh::mesh({3, 2}));
+  topo::FaultOverlay ov(base);
+  ov.fail_node(0);
+  const auto g = graph::ring(6, 32.0);  // 6 tasks, 5 alive processors
+  EXPECT_THROW(find_optimal_mapping(g, ov), precondition_error);
+}
+
+TEST(OptimalOracle, PartitionedMachineThrowsNoFeasiblePlacement) {
+  // Killing the middle of a 1x3 path splits {0} from {2}: two communicating
+  // tasks cannot be hosted even though two processors are alive.
+  auto base = std::make_shared<topo::TorusMesh>(topo::TorusMesh::mesh({3}));
+  topo::FaultOverlay ov(base);
+  ov.fail_node(1);
+  graph::TaskGraph::Builder b("pair");
+  b.add_vertices(2);
+  b.add_edge(0, 1, 64.0);
+  const auto g = std::move(b).build();
+  try {
+    find_optimal_mapping(g, ov);
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no feasible placement"),
+              std::string::npos);
+  }
+}
+
+TEST(OptimalOracle, StrategyFacadeMatchesTheDirectCall) {
+  const OracleInstance inst = corpus_instance("stencil3x2/torus3x2");
+  Rng rng(7);
+  const Mapping via_spec =
+      make_strategy("optimal")->map(inst.g, *inst.machine, rng);
+  const OptimalResult direct = find_optimal_mapping(inst.g, *inst.machine);
+  EXPECT_EQ(via_spec, direct.mapping);
+  EXPECT_EQ(make_strategy("optimal")->name(), "OptimalLB");
+}
+
+TEST(OptimalOracle, EmptyGraphMapsToNothing) {
+  graph::TaskGraph g;
+  const auto t = topo::TorusMesh::torus({2, 2});
+  const OptimalResult r = find_optimal_mapping(g, t);
+  EXPECT_TRUE(r.mapping.empty());
+  EXPECT_EQ(r.hop_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace topomap::core

@@ -1,0 +1,141 @@
+// Negative-path coverage for core::validate_state: each of the documented
+// corruption classes must be detected and named in the report, and a
+// healthy system must validate clean.  The CLI surfaces these reports as
+// invariant errors (exit code 3) via `topomap chaos --drill=...`, asserted
+// end to end by scripts/smoke_test.sh.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/strategy.hpp"
+#include "core/validate.hpp"
+#include "graph/builders.hpp"
+#include "support/rng.hpp"
+#include "topo/distance_cache.hpp"
+#include "topo/fault_overlay.hpp"
+#include "topo/torus_mesh.hpp"
+
+namespace topomap::core {
+namespace {
+
+bool mentions(const ValidationReport& report, const std::string& needle) {
+  return report.summary().find(needle) != std::string::npos;
+}
+
+/// A healthy mapped 8-task system on a 4x2 mesh with a live plane.
+struct Harness {
+  graph::TaskGraph g = graph::stencil_2d(4, 2, 64.0);
+  std::shared_ptr<topo::TorusMesh> base =
+      std::make_shared<topo::TorusMesh>(topo::TorusMesh::mesh({4, 2}));
+  topo::FaultOverlay overlay{base};
+  topo::DistanceCache plane{overlay};
+  Mapping placement;
+  std::vector<char> quarantined;
+
+  Harness() {
+    Rng rng(11);
+    placement = make_strategy("topolb")->map(g, overlay, rng);
+    quarantined.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  }
+
+  SystemState state() const {
+    SystemState st;
+    st.graph = &g;
+    st.overlay = &overlay;
+    st.placement = &placement;
+    st.quarantined = &quarantined;
+    st.plane = &plane;
+    return st;
+  }
+};
+
+TEST(ValidateState, HealthySystemValidatesClean) {
+  Harness h;
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.summary(), "ok");
+}
+
+TEST(ValidateState, DetectsTaskPlacedOnDeadProcessor) {
+  Harness h;
+  // The processor dies and the plane is repaired faithfully, but the
+  // placement was never migrated: exactly the corruption the dynamic
+  // runtime's recovery path exists to prevent.
+  const int victim = h.placement[0];
+  h.overlay.fail_node(victim);
+  h.plane.repair_node_failure(h.overlay, victim);
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "placed on dead processor")) << report.summary();
+}
+
+TEST(ValidateState, DetectsActiveTaskLeftUnplaced) {
+  Harness h;
+  // Unassigning a task without quarantining it: an active task must
+  // always have a seat.
+  h.placement[0] = kUnassigned;
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "is active but unplaced")) << report.summary();
+}
+
+TEST(ValidateState, QuarantinedTaskMayBeUnplaced) {
+  Harness h;
+  h.placement[0] = kUnassigned;
+  h.quarantined[0] = 1;
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ValidateState, DetectsStaleQuarantineList) {
+  Harness h;
+  // A quarantine list sized for a previous epoch's task count.
+  h.quarantined.resize(static_cast<std::size_t>(h.g.num_vertices()) - 2);
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "quarantine flags have")) << report.summary();
+}
+
+TEST(ValidateState, DetectsPlaneScaleSkewAfterUnrepairedDegrade) {
+  Harness h;
+  // A soft fault flips the overlay into fixed-point units; a plane that
+  // missed the repair event still carries hop units — version skew.
+  h.overlay.degrade_link(0, 1, 0.5);
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "plane scale")) << report.summary();
+}
+
+TEST(ValidateState, DetectsStalePlaneRowAfterUnrepairedLinkFailure) {
+  Harness h;
+  // Hard link fault with no plane repair: same scale, stale distances.
+  h.overlay.fail_link(0, 1);
+  // Keep the placement legal (all processors alive) — the only corruption
+  // is the un-repaired plane.
+  const ValidationReport report = validate_state(h.state());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "differs from a fresh rebuild"))
+      << report.summary();
+}
+
+TEST(ValidateState, DetectsGroupCapacityViolation) {
+  Harness h;
+  // Two groups claiming one processor: capacity is one group per seat.
+  std::vector<int> groups(static_cast<std::size_t>(h.g.num_vertices()));
+  for (int t = 0; t < h.g.num_vertices(); ++t)
+    groups[static_cast<std::size_t>(t)] = t;
+  Mapping group_mapping = h.placement;
+  group_mapping[1] = group_mapping[0];
+  SystemState st = h.state();
+  st.groups = &groups;
+  st.group_mapping = &group_mapping;
+  const ValidationReport report = validate_state(st);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "capacity violated")) << report.summary();
+}
+
+}  // namespace
+}  // namespace topomap::core

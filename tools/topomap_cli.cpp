@@ -35,6 +35,9 @@
 #include "core/contention.hpp"
 #include "core/fault_aware.hpp"
 #include "core/metrics.hpp"
+#include "core/optimal_lb.hpp"
+#include "core/validate.hpp"
+#include "graph/builders.hpp"
 #include "graph/factory.hpp"
 #include "graph/quotient.hpp"
 #include "netsim/app.hpp"
@@ -50,8 +53,10 @@
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "topo/components.hpp"
+#include "topo/distance_cache.hpp"
 #include "topo/factory.hpp"
 #include "topo/fault_spec.hpp"
+#include "topo/torus_mesh.hpp"
 
 namespace {
 
@@ -727,6 +732,133 @@ int cmd_evacuate(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_optimal(int argc, const char* const* argv) {
+  CliParser cli(
+      "exactly minimize hop-bytes by branch and bound (<= 12 tasks) and "
+      "report a strategy's optimality gap against the proven minimum");
+  cli.add_option("tasks", "workload spec (<= 12 tasks)", "stencil2d:3x3");
+  cli.add_option("topology", "machine spec", "torus:3x3");
+  cli.add_option("seed", "RNG seed (workload + compared strategy)", "1");
+  cli.add_option("budget", "branch-and-bound node budget", "20000000");
+  cli.add_option("compare",
+                 "strategy spec to gap against the optimum ('' skips)",
+                 "topolb");
+  cli.add_flag("no-symmetry",
+               "explore every root placement (disable automorphism pruning)");
+  cli.add_option("output", "write 'task processor' lines here", "");
+  add_fault_options(cli);
+  add_obs_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  ObsOutputs obs_out;
+  obs_out.init(cli);
+
+  Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const graph::TaskGraph g = graph::make_task_graph(cli.str("tasks"), rng);
+  const auto topo = topo::make_topology(cli.str("topology"));
+  const auto overlay = make_fault_overlay(cli, topo);
+  const topo::Topology& machine = overlay ? *overlay : *topo;
+  if (overlay) print_fault_summary(*overlay);
+
+  core::OptimalOptions opts;
+  opts.node_budget = cli.integer("budget");
+  opts.symmetry = !cli.flag("no-symmetry");
+
+  obs_out.report.set_meta("command", "optimal");
+  obs_out.report.set_meta("workload", g.label());
+  obs_out.report.set_meta("machine", machine.name());
+  obs_out.report.set_meta("seed", cli.str("seed"));
+
+  core::OptimalResult result;
+  {
+    obs::ScopedSpan root_span("cli/optimal");
+    result = core::find_optimal_mapping(g, machine, opts);
+  }
+  print_mapping_report(g, machine, result.mapping, "OptimalLB (exact)");
+  std::cout << "search:         " << result.nodes << " nodes, "
+            << result.pruned << " pruned subtrees, " << result.root_candidates
+            << " root candidates\n";
+  obs_out.meta("optimal_hop_bytes", result.hop_bytes);
+  obs_out.meta("search_nodes", static_cast<double>(result.nodes));
+
+  if (const std::string spec = cli.str("compare"); !spec.empty()) {
+    const auto strategy = core::make_strategy(spec);
+    Rng crng(static_cast<std::uint64_t>(cli.integer("seed")));
+    const core::Mapping cm =
+        overlay ? core::map_on_alive(*strategy, g, *overlay, crng)
+                : strategy->map(g, *topo, crng);
+    const double chb = core::hop_bytes(g, machine, cm);
+    const double gap =
+        result.hop_bytes > 0.0 ? chb / result.hop_bytes : 1.0;
+    std::cout << "compare:        " << strategy->name() << " hop-bytes "
+              << chb << ", optimality gap " << gap
+              << (gap == 1.0 ? " (provably optimal)" : "") << "\n";
+    obs_out.meta("compare_hop_bytes", chb);
+    obs_out.meta("optimality_gap", gap);
+  }
+
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    std::ofstream os = open_output(out);
+    for (std::size_t t = 0; t < result.mapping.size(); ++t)
+      os << t << ' ' << result.mapping[t] << '\n';
+    std::cout << "mapping written to " << out << "\n";
+  }
+  obs_out.finish();
+  return 0;
+}
+
+/// `topomap chaos --drill=<kind>`: corrupt exactly one validated subsystem
+/// of a small healthy mapped system and let core::validate_state convict
+/// it.  Always exits non-zero: the caught corruption is rethrown as
+/// invariant_error (exit code 3) — scripts/smoke_test.sh asserts the exit
+/// code and the violation text end to end.
+int run_validation_drill(const std::string& kind) {
+  const graph::TaskGraph g = graph::stencil_2d(4, 2, 64.0);
+  auto base =
+      std::make_shared<topo::TorusMesh>(topo::TorusMesh::mesh({4, 2}));
+  topo::FaultOverlay overlay(base);
+  topo::DistanceCache plane(overlay);
+  Rng rng(11);
+  core::Mapping placement =
+      core::make_strategy("topolb")->map(g, overlay, rng);
+  std::vector<char> quarantined(static_cast<std::size_t>(g.num_vertices()),
+                                0);
+  std::cout << "drill: healthy 8-task stencil on mesh:4x2 — corrupting '"
+            << kind << "'\n";
+  if (kind == "placement") {
+    // The processor dies and the plane is repaired faithfully, but the
+    // placement is never migrated off the corpse.
+    const int victim = placement[0];
+    overlay.fail_node(victim);
+    plane.repair_node_failure(overlay, victim);
+    std::cout << "  processor " << victim
+              << " died; plane repaired; placement left stale\n";
+  } else if (kind == "quarantine") {
+    // An active task loses its seat with no quarantine record.
+    placement[0] = core::kUnassigned;
+    std::cout << "  task 0 unseated without a quarantine flag\n";
+  } else if (kind == "plane") {
+    // A soft fault flips the overlay into fixed-point units; the plane
+    // misses the repair event — version skew.
+    overlay.degrade_link(0, 1, 0.5);
+    std::cout << "  link 0-1 degraded to half health; plane repair skipped\n";
+  } else {
+    throw precondition_error("unknown drill '" + kind +
+                             "' (want placement | quarantine | plane)");
+  }
+  core::SystemState st;
+  st.graph = &g;
+  st.overlay = &overlay;
+  st.placement = &placement;
+  st.quarantined = &quarantined;
+  st.plane = &plane;
+  const core::ValidationReport report = core::validate_state(st);
+  TOPOMAP_ASSERT(!report.ok(), "drill failed: validate_state missed the '" +
+                                   kind + "' corruption");
+  throw invariant_error("self-validation drill '" + kind +
+                        "' caught: " + report.summary());
+}
+
 int cmd_chaos(int argc, const char* const* argv) {
   CliParser cli(
       "soak the dynamic runtime under a seeded fault/recovery timeline: "
@@ -747,10 +879,18 @@ int cmd_chaos(int argc, const char* const* argv) {
                  "distance-plane rows per validation (0 = all alive rows)",
                  "0");
   cli.add_flag("no-validate", "skip the per-event/per-epoch self-validation");
+  cli.add_option("drill",
+                 "corrupt one validated subsystem of a fixed small system "
+                 "and exit 3 with the caught violation: placement | "
+                 "quarantine | plane",
+                 "");
   cli.add_option("output", "write final 'object processor' lines here", "");
   add_fault_options(cli);
   add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+
+  if (const std::string drill = cli.str("drill"); !drill.empty())
+    return run_validation_drill(drill);  // throws: exit 3 (or 2 on bad kind)
 
   ObsOutputs obs_out;
   obs_out.init(cli);
@@ -882,6 +1022,7 @@ void usage() {
       "  pipeline   partition + map (more objects than processors)\n"
       "  evacuate   map, inject faults, migrate only stranded tasks\n"
       "  explain    per-link contention attribution, timeline, and diff\n"
+      "  optimal    exact branch-and-bound optimum + strategy optimality gap\n"
       "  chaos      soak the dynamic runtime under seeded faults/recovery\n"
       "\n"
       "exit codes: 0 success, 1 usage, 2 invalid input (precondition),\n"
@@ -906,6 +1047,7 @@ int main(int argc, char** argv) {
     if (command == "pipeline") return cmd_pipeline(sub_argc, sub_argv);
     if (command == "evacuate") return cmd_evacuate(sub_argc, sub_argv);
     if (command == "explain") return cmd_explain(sub_argc, sub_argv);
+    if (command == "optimal") return cmd_optimal(sub_argc, sub_argv);
     if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       usage();
