@@ -9,13 +9,14 @@ flat baseline artifact and compares a later run against it:
     scripts/bench_compare.py compare --baseline BENCH_mapping.json \
         --dir bench_results [--tolerance 1e-6]
 
-Only *deterministic* columns participate: wall-clock columns (named
-"seconds", "*_sec", "*_wall*") are dropped at rollup time, so the gate
-never fails on machine speed — it fails when mapping quality metrics
-(hop-bytes, max-link-load, L2, simulated virtual-time results) move.
-Numeric cells compare under a relative tolerance; strings must match
-exactly.  Intentional algorithm changes regenerate the baseline with
-`rollup`.
+Only *deterministic* columns participate in the gate: wall-clock columns
+(named "seconds", "*_sec", "*wall*") stay in the baseline as
+informational context (e.g. the svc_load p50/p99 service latencies) but
+are skipped during compare, so the gate never fails on machine speed —
+it fails when mapping quality metrics (hop-bytes, max-link-load, L2,
+simulated virtual-time results) move.  Numeric cells compare under a
+relative tolerance; strings must match exactly.  Intentional algorithm
+changes regenerate the baseline with `rollup`.
 
 Exit 0 when every shared table matches, 1 on any regression or missing
 table, 2 on usage/I-O errors.  Stdlib only.
@@ -30,9 +31,10 @@ import sys
 SCHEMA_NAME = "topomap.bench.baseline"
 SCHEMA_VERSION = 1
 
-# Column names carrying wall-clock time: excluded from the baseline so the
-# gate is independent of machine speed.  Virtual-time columns (simulated
-# completion in ms/us) are deterministic and stay in.
+# Column names carrying wall-clock time: kept in the baseline for context
+# but excluded from the compare, so the gate is independent of machine
+# speed.  Virtual-time columns (simulated completion in ms/us) are
+# deterministic and fully gated.
 WALL_CLOCK_NAMES = ("seconds",)
 WALL_CLOCK_SUFFIXES = ("_sec", "_seconds")
 WALL_CLOCK_SUBSTRINGS = ("wall",)
@@ -59,8 +61,9 @@ def load_json(path: str):
 
 
 def collect_tables(directory: str) -> dict:
-    """All tables from every bench_results/*.json, wall-clock columns
-    dropped, keyed by table name (table names are unique repo-wide)."""
+    """All tables from every bench_results/*.json, keyed by table name
+    (table names are unique repo-wide).  Wall-clock columns are kept —
+    compare_table() skips them cell-by-cell."""
     tables = {}
     paths = sorted(glob.glob(os.path.join(directory, "*.json")))
     if not paths:
@@ -72,16 +75,13 @@ def collect_tables(directory: str) -> dict:
             continue  # not an obs::Report mirror (e.g. a contention report)
         source = os.path.basename(path)
         for name, table in doc["tables"].items():
-            columns = table.get("columns", [])
-            rows = table.get("rows", [])
-            keep = [i for i, c in enumerate(columns) if not is_wall_clock(c)]
             if name in tables:
                 die(f"table {name!r} appears in both "
                     f"{tables[name]['source']} and {source}")
             tables[name] = {
                 "source": source,
-                "columns": [columns[i] for i in keep],
-                "rows": [[row[i] for i in keep] for row in rows],
+                "columns": table.get("columns", []),
+                "rows": table.get("rows", []),
             }
     if not tables:
         die(f"no bench tables found under {directory!r}")
@@ -99,8 +99,11 @@ def cmd_rollup(args) -> None:
         json.dump(doc, f, indent=1)
         f.write("\n")
     total_rows = sum(len(t["rows"]) for t in tables.values())
+    wall = sorted({c for t in tables.values() for c in t["columns"]
+                   if is_wall_clock(c)})
     print(f"bench_compare: wrote {args.out}: {len(tables)} tables, "
-          f"{total_rows} rows (wall-clock columns dropped)")
+          f"{total_rows} rows (informational wall-clock columns: "
+          f"{', '.join(wall) if wall else 'none'})")
 
 
 def cells_match(a, b, tolerance: float) -> bool:
@@ -124,6 +127,8 @@ def compare_table(name: str, base: dict, cur: dict, tolerance: float) -> list:
         return problems
     for r, (brow, crow) in enumerate(zip(base["rows"], cur["rows"])):
         for c, (bval, cval) in enumerate(zip(brow, crow)):
+            if is_wall_clock(base["columns"][c]):
+                continue  # informational only — machine speed never gates
             if not cells_match(bval, cval, tolerance):
                 problems.append(
                     f"{name} row {r} col {base['columns'][c]!r}: "

@@ -3,10 +3,12 @@
 # the resulting tables against the committed baseline (BENCH_mapping.json).
 #
 # Everything compared is seed-fixed and virtual-time — wall-clock columns
-# are dropped at rollup — so the gate flags changes to mapping quality
-# (hop-bytes, max-link-load, L2, simulated completion), never machine
-# speed.  After an intentional algorithm change, regenerate the baseline
-# and commit it:
+# (svc_load's p50/p99 latencies, per-run seconds) ride along in the
+# baseline as informational context but never gate — so the gate flags
+# changes to mapping quality (hop-bytes, max-link-load, L2, simulated
+# completion) and cache-sharing invariants (svc_load hit_rate), never
+# machine speed.  After an intentional algorithm change, regenerate the
+# baseline and commit it:
 #
 #   scripts/bench_gate.sh <build-dir> --update
 #
@@ -35,6 +37,7 @@ run ablation_soft_faults
 run ablation_hier_scale --full=0
 run ablation_chaos_soak --epochs=60
 run ablation_optimality_gap
+run svc_load
 
 if [ "$MODE" = "--update" ]; then
   python3 scripts/bench_compare.py rollup --dir "$TMP/bench_results" \

@@ -3,9 +3,9 @@
 # ASan/UBSan (TOPOMAP_SANITIZE=ON).
 #
 # The sanitizer pass runs label by label — unit, property, fault, hier,
-# chaos, oracle — so a failure names the tier that broke, and the (slower)
-# instrumented binaries only run the suites worth instrumenting instead of
-# every sweep twice.
+# chaos, oracle, svc — so a failure names the tier that broke, and the
+# (slower) instrumented binaries only run the suites worth instrumenting
+# instead of every sweep twice.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -23,10 +23,18 @@ echo "=== oracle slice (release): exact ground truth + optimality gaps ==="
 # enough to call out explicitly so an optimality regression names itself.
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L oracle
 
+echo "=== svc slice (release): protocol, cache pool, daemon e2e ==="
+# The topomapd service layer: framing/schema strictness, deterministic
+# CachePool sharing, and the 64-in-flight byte-identity contract against
+# one-shot CLI execution.
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L svc
+
 echo "=== bench regression gate (deterministic tables vs baseline) ==="
-# Non-timing gate: wall-clock columns are dropped at rollup, so only
-# mapping-quality columns (hop-bytes, max-link-load, L2, virtual-time
-# results) can fail it.  scripts/bench_gate.sh <dir> --update regenerates.
+# Non-timing gate: wall-clock columns (svc_load p50/p99, per-run seconds)
+# ride along as informational baseline context but are skipped at compare,
+# so only mapping-quality columns (hop-bytes, max-link-load, L2,
+# virtual-time results) and deterministic service-cache counters can fail
+# it.  scripts/bench_gate.sh <dir> --update regenerates.
 scripts/bench_gate.sh build-ci-release
 
 echo "=== obs (-DTOPOMAP_OBS=ON): unit slice + artifact validation ==="
@@ -67,7 +75,7 @@ echo "obs slice ok: artifacts validate, mapping identical to release build"
 echo "=== sanitize (ASan/UBSan): labeled slices ==="
 cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
 cmake --build build-ci-sanitize -j "$JOBS"
-for label in unit property fault hier chaos oracle; do
+for label in unit property fault hier chaos oracle svc; do
   echo "--- ctest -L $label ---"
   ctest --test-dir build-ci-sanitize --output-on-failure -j "$JOBS" -L "$label"
 done

@@ -241,4 +241,48 @@ python3 scripts/check_trace.py --trace "$TMP/explain_trace.json" \
   --require-counter-track netsim/queue_depth
 echo "ok: explain            A-vs-B diff, contention report, counter tracks"
 
+# Mapping-as-a-service: start topomapd, round-trip a client map request
+# (the served mapping must be byte-identical to the one-shot CLI's), check
+# the status endpoint shows the cache pool working, prove the exit-code
+# taxonomy survives the network hop, then shut down cleanly on SIGTERM.
+DAEMON="$BUILD_DIR/tools/topomapd"
+SOCK="$TMP/topomapd.sock"
+"$DAEMON" --socket="$SOCK" --workers=2 > "$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+if [ ! -S "$SOCK" ]; then
+  echo "FAIL: topomapd never bound $SOCK" >&2
+  cat "$TMP/daemon.log" >&2
+  exit 1
+fi
+"$CLI" client --socket="$SOCK" --kind=map --strategy=topolb \
+  --tasks=stencil2d:8x8 --topology=torus:8x8 --seed=7 \
+  --output="$TMP/svc.map" >/dev/null
+if ! diff -q "$TMP/plain.map" "$TMP/svc.map" >/dev/null; then
+  echo "FAIL: daemon-served mapping differs from the one-shot CLI" >&2
+  diff "$TMP/plain.map" "$TMP/svc.map" >&2 || true
+  exit 1
+fi
+"$CLI" client --socket="$SOCK" --kind=status | tee "$TMP/status.log" >/dev/null
+grep -q '"requests_served"' "$TMP/status.log"
+grep -Eq '"misses": *1' "$TMP/status.log"
+expect_rc 2 "unknown strategy via daemon" "$CLI" client --socket="$SOCK" \
+  --kind=map --strategy=frobnicate --tasks=stencil2d:4x4 --topology=torus:4x4
+expect_rc 4 "client without a daemon" "$CLI" client --socket="$TMP/nope.sock" \
+  --kind=status
+kill -TERM "$DAEMON_PID"
+DAEMON_RC=0
+wait "$DAEMON_PID" || DAEMON_RC=$?
+if [ "$DAEMON_RC" != 0 ]; then
+  echo "FAIL: topomapd exited $DAEMON_RC on SIGTERM, expected 0" >&2
+  cat "$TMP/daemon.log" >&2
+  exit 1
+fi
+grep -q 'clean shutdown' "$TMP/daemon.log"
+if [ -S "$SOCK" ]; then
+  echo "FAIL: topomapd left its socket behind after shutdown" >&2
+  exit 1
+fi
+echo "ok: topomapd           serve == one-shot bytes, taxonomy intact, clean stop"
+
 echo "smoke test passed"

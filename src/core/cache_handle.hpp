@@ -19,6 +19,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "support/error.hpp"
 #include "topo/distance_cache.hpp"
 #include "topo/topology.hpp"
 
@@ -40,6 +41,21 @@ class CacheHandle {
     key_ = &topo;
     key_name_ = std::move(name);
     return cache_;
+  }
+
+  /// Pre-key the handle with an externally built cache for `topo`
+  /// (svc::CachePool shares one DistanceCache across requests on the same
+  /// machine).  The next get(topo) hits as long as the identity+name key
+  /// still matches; a fault injected in between changes name() and falls
+  /// back to a rebuild as usual.  Requires cache->size() == topo.size().
+  void seed(const topo::Topology& topo,
+            std::shared_ptr<const topo::DistanceCache> cache) {
+    TOPOMAP_REQUIRE(cache && cache->size() == topo.size(),
+                    "seeded cache does not match the topology");
+    std::lock_guard<std::mutex> lock(mu_);
+    key_ = &topo;
+    key_name_ = topo.name();
+    cache_ = std::move(cache);
   }
 
  private:

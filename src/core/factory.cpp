@@ -76,4 +76,12 @@ StrategyPtr make_strategy(const std::string& spec_in, DistanceMode mode) {
   return make_with_handle(spec_in, mode, std::make_shared<CacheHandle>());
 }
 
+StrategyPtr make_strategy_with_handle(const std::string& spec_in,
+                                      DistanceMode mode,
+                                      const CacheHandlePtr& handle) {
+  TOPOMAP_REQUIRE(handle != nullptr,
+                  "make_strategy_with_handle needs a CacheHandle");
+  return make_with_handle(spec_in, mode, handle);
+}
+
 }  // namespace topomap::core

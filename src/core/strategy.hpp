@@ -80,4 +80,12 @@ using StrategyPtr = std::shared_ptr<const MappingStrategy>;
 StrategyPtr make_strategy(const std::string& spec,
                           DistanceMode mode = DistanceMode::kCached);
 
+/// make_strategy with a caller-owned CacheHandle instead of a fresh one —
+/// the topomapd service pre-seeds the handle from its svc::CachePool so
+/// every request on the same machine reuses one distance-plane fill.
+/// `handle` must be non-null.
+StrategyPtr make_strategy_with_handle(const std::string& spec,
+                                      DistanceMode mode,
+                                      const CacheHandlePtr& handle);
+
 }  // namespace topomap::core

@@ -1,4 +1,4 @@
-#include "obs/json.hpp"
+#include "support/json.hpp"
 
 #include <cmath>
 #include <cstdio>
@@ -6,7 +6,7 @@
 
 #include "support/error.hpp"
 
-namespace topomap::obs::json {
+namespace topomap::support::json {
 
 namespace {
 
@@ -340,4 +340,4 @@ Value Value::parse(std::string_view text) {
   return v;
 }
 
-}  // namespace topomap::obs::json
+}  // namespace topomap::support::json

@@ -151,6 +151,10 @@ class ThreadPool {
 
 }  // namespace
 
+InlineScope::InlineScope() : prev_(t_in_worker) { t_in_worker = true; }
+
+InlineScope::~InlineScope() { t_in_worker = prev_; }
+
 int num_threads() { return ThreadPool::instance().num_threads(); }
 
 void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }

@@ -34,6 +34,26 @@ void set_num_threads(int n);
 /// accumulator slots size them with this.
 int parallel_chunk_count(int n, int grain);
 
+/// Marks the current thread as an execution context whose parallel_for
+/// calls run inline, exactly as if the pool had one thread.  The process
+/// pool has a single in-flight job slot, so two threads submitting pooled
+/// loops concurrently is not supported — request-level concurrency (the
+/// topomapd worker threads, each running an independent mapping kernel)
+/// instead pins each request to its own thread with an InlineScope.  The
+/// determinism contract makes this free of result skew: inline execution
+/// is byte-identical to any pool width.  Scopes nest; the destructor
+/// restores the previous state.
+class InlineScope {
+ public:
+  InlineScope();
+  ~InlineScope();
+  InlineScope(const InlineScope&) = delete;
+  InlineScope& operator=(const InlineScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
 namespace detail {
 
 /// True when loops must run inline on the calling thread: a single-worker

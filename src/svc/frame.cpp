@@ -1,0 +1,139 @@
+#include "svc/frame.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "support/error.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // non-Linux: callers ignore SIGPIPE instead
+#endif
+
+namespace topomap::svc {
+
+namespace {
+
+std::uint32_t read_be32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+void append_be32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  TOPOMAP_REQUIRE(payload.size() <= 0xFFFFFFFFu,
+                  "frame payload exceeds the 32-bit length field");
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kFrameMagic);
+  append_be32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::validate_prefix() const {
+  const std::size_t check = std::min(buffer_.size(), kFrameMagic.size());
+  if (buffer_.compare(0, check, kFrameMagic, 0, check) != 0)
+    throw precondition_error(
+        "svc frame: bad magic (expected \"TMP1\") — peer is not speaking "
+        "the topomapd framing");
+  if (buffer_.size() >= kFrameHeaderSize) {
+    const std::uint32_t len = read_be32(buffer_.data() + kFrameMagic.size());
+    if (len > max_payload_)
+      throw precondition_error(
+          "svc frame: declared payload of " + std::to_string(len) +
+          " bytes exceeds the cap of " + std::to_string(max_payload_));
+  }
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  buffer_.append(bytes);
+  validate_prefix();
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < kFrameHeaderSize) return std::nullopt;
+  const std::uint32_t len = read_be32(buffer_.data() + kFrameMagic.size());
+  if (buffer_.size() < kFrameHeaderSize + len) return std::nullopt;
+  std::string payload = buffer_.substr(kFrameHeaderSize, len);
+  buffer_.erase(0, kFrameHeaderSize + len);
+  // The tail of a multi-frame read is a new prefix; re-check it now so a
+  // pipelined garbage frame fails here rather than on the next feed().
+  if (!buffer_.empty()) validate_prefix();
+  return payload;
+}
+
+namespace {
+
+/// Read exactly `n` bytes.  Returns the count read before EOF (< n only at
+/// EOF); throws io_error on a hard read failure.
+std::size_t read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) break;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw io_error(std::string("svc frame: read failed: ") +
+                     std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload, std::size_t max_payload) {
+  char header[kFrameHeaderSize];
+  const std::size_t got = read_exact(fd, header, kFrameHeaderSize);
+  if (got == 0) return false;  // clean close between frames
+  if (got < kFrameHeaderSize)
+    throw io_error("svc frame: connection closed mid-header");
+  if (std::string_view(header, kFrameMagic.size()) != kFrameMagic)
+    throw precondition_error(
+        "svc frame: bad magic (expected \"TMP1\") — peer is not speaking "
+        "the topomapd framing");
+  const std::uint32_t len = read_be32(header + kFrameMagic.size());
+  if (len > max_payload)
+    throw precondition_error(
+        "svc frame: declared payload of " + std::to_string(len) +
+        " bytes exceeds the cap of " + std::to_string(max_payload));
+  payload.resize(len);
+  if (read_exact(fd, payload.data(), len) < len)
+    throw io_error("svc frame: connection closed mid-payload");
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload, std::size_t max_payload) {
+  if (payload.size() > max_payload)
+    throw io_error("svc frame: response of " +
+                   std::to_string(payload.size()) +
+                   " bytes exceeds the frame cap");
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw io_error(std::string("svc frame: write failed: ") +
+                     std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace topomap::svc

@@ -1,0 +1,399 @@
+#include "svc/service.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/cache_handle.hpp"
+#include "core/contention.hpp"
+#include "core/fault_aware.hpp"
+#include "core/metrics.hpp"
+#include "core/optimal_lb.hpp"
+#include "graph/factory.hpp"
+#include "graph/quotient.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "runtime/evacuate.hpp"
+#include "runtime/rank_reorder.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "topo/components.hpp"
+
+namespace topomap::svc {
+
+namespace {
+
+/// The request's strategy wired to the pooled machine: a fresh CacheHandle
+/// pre-seeded with the pool's distance plane, so every stage of the
+/// composition hits the shared fill instead of rebuilding O(p^2) state.
+core::StrategyPtr make_pooled_strategy(const std::string& spec,
+                                       const MachineEntry& entry) {
+  auto handle = std::make_shared<core::CacheHandle>();
+  const topo::Topology& machine = entry.machine();
+  if (entry.plane && entry.plane->size() == machine.size())
+    handle->seed(machine, entry.plane);
+  return core::make_strategy_with_handle(spec, core::DistanceMode::kCached,
+                                         handle);
+}
+
+/// The CLI's tasks-vs-processors check (exit 1 there, "usage" here).
+void require_square_or_oversub(const graph::TaskGraph& g,
+                               const topo::Topology& topo,
+                               const core::MappingStrategy& strategy) {
+  if (g.num_vertices() != topo.size() &&
+      !(strategy.supports_oversubscription() &&
+        g.num_vertices() > topo.size()))
+    throw usage_error(
+        "workload has " + std::to_string(g.num_vertices()) +
+        " tasks but the machine has " + std::to_string(topo.size()) +
+        " processors; use `topomap pipeline` or strategy `hier` when tasks "
+        "> procs");
+}
+
+json::Value fault_summary(const topo::FaultOverlay& overlay) {
+  json::Value v = json::Value::object();
+  v.set("failed_nodes", overlay.num_failed_nodes());
+  v.set("failed_links", overlay.num_failed_links());
+  v.set("degraded_links", overlay.num_degraded_links());
+  v.set("alive", overlay.num_alive());
+  v.set("size", overlay.size());
+  return v;
+}
+
+/// The exact bytes `topomap map --output` writes: full rank mapping, or the
+/// placed tasks only when faults quarantined part of the workload.
+std::string mapping_bytes(const core::Mapping& m,
+                          bool any_quarantined = false) {
+  std::ostringstream os;
+  if (!any_quarantined) {
+    rts::write_rank_mapping(os, m);
+  } else {
+    for (std::size_t t = 0; t < m.size(); ++t)
+      if (m[t] != core::kUnassigned) os << t << ' ' << m[t] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), pool_(options_.cache_capacity) {}
+
+Response Service::handle(const Request& req) {
+  // Mapping kernels run their parallel regions inline on this serving
+  // thread: request-level concurrency is the only concurrency, and the
+  // thread-count-invariance contract keeps results byte-identical.
+  support::InlineScope inline_scope;
+  OBS_SPAN("svc/request");
+  Response resp;
+  resp.id = req.id;
+  try {
+    switch (req.kind) {
+      case RequestKind::kMap: resp.result = run_map(req); break;
+      case RequestKind::kExplain: resp.result = run_explain(req); break;
+      case RequestKind::kEvacuate: resp.result = run_evacuate(req); break;
+      case RequestKind::kOptimal: resp.result = run_optimal(req); break;
+      case RequestKind::kStatus: resp.result = run_status(); break;
+    }
+  } catch (...) {
+    ++failed_;
+    OBS_COUNTER_ADD("svc/requests_failed", 1);
+    write_report(req, false);
+    return make_error_response(req.id, std::current_exception());
+  }
+  resp.ok = true;
+  ++served_;
+  OBS_COUNTER_ADD("svc/requests_served", 1);
+  write_report(req, true);
+  return resp;
+}
+
+json::Value Service::run_map(const Request& req) {
+  // Same Rng stream as `topomap map`: graph generation, then mapping.
+  Rng rng(req.seed);
+  const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
+  const MachineEntryPtr entry = pool_.acquire(req.topology, req.fault_spec());
+  const topo::Topology& machine = entry->machine();
+  const core::StrategyPtr strategy = make_pooled_strategy(req.strategy, *entry);
+
+  core::Mapping m;
+  std::vector<int> quarantined;
+  std::string partition_note;
+  if (entry->overlay) {
+    const topo::ComponentSplit split =
+        topo::connected_components(*entry->overlay);
+    if (split.partitioned() &&
+        g.num_vertices() > static_cast<int>(split.primary().size())) {
+      core::PartitionedMapResult pr =
+          core::map_on_largest_component(*strategy, g, *entry->overlay, rng);
+      m = std::move(pr.mapping);
+      quarantined = std::move(pr.quarantined);
+      partition_note = topo::describe_partition(*entry->overlay, split);
+    } else {
+      m = core::map_on_alive(*strategy, g, *entry->overlay, rng);
+    }
+  } else {
+    require_square_or_oversub(g, *entry->base, *strategy);
+    m = strategy->map(g, *entry->base, rng);
+  }
+
+  // Metrics over the placed tasks only, like the CLI's report.
+  const graph::TaskGraph* metric_g = &g;
+  core::Mapping metric_m = m;
+  graph::Subgraph placed_view;
+  if (!quarantined.empty()) {
+    std::vector<int> placed_ids;
+    for (int t = 0; t < g.num_vertices(); ++t)
+      if (m[static_cast<std::size_t>(t)] != core::kUnassigned)
+        placed_ids.push_back(t);
+    placed_view = graph::induced_subgraph(g, placed_ids);
+    metric_g = &placed_view.graph;
+    metric_m.clear();
+    for (int t : placed_ids)
+      metric_m.push_back(m[static_cast<std::size_t>(t)]);
+  }
+
+  json::Value result = json::Value::object();
+  result.set("workload", g.label());
+  result.set("edges", g.num_edges());
+  result.set("comm_bytes", g.total_comm_bytes());
+  result.set("machine", entry->base->name());
+  result.set("strategy", strategy->name());
+  if (entry->overlay) result.set("faults", fault_summary(*entry->overlay));
+  if (!partition_note.empty()) {
+    result.set("partition", partition_note);
+    json::Value q = json::Value::array();
+    for (int t : quarantined) q.push_back(t);
+    result.set("quarantined", std::move(q));
+  }
+  result.set("hop_bytes", core::hop_bytes(*metric_g, machine, metric_m));
+  result.set("hops_per_byte",
+             core::hops_per_byte(*metric_g, machine, metric_m));
+  try {
+    const core::LinkLoadStats links =
+        core::link_loads(*metric_g, machine, metric_m);
+    json::Value ll = json::Value::object();
+    ll.set("max_bytes", links.max_bytes);
+    ll.set("mean_bytes", links.mean_bytes);
+    ll.set("links_used", links.links_used);
+    ll.set("links_total", links.links_total);
+    result.set("link_loads", std::move(ll));
+  } catch (const precondition_error&) {
+    result.set("link_loads", json::Value());  // no processor-level routes
+  }
+  result.set("mapping", mapping_bytes(m, !quarantined.empty()));
+  return result;
+}
+
+json::Value Service::run_explain(const Request& req) {
+  Rng rng(req.seed);
+  const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
+  const MachineEntryPtr entry = pool_.acquire(req.topology, req.fault_spec());
+  const topo::Topology& machine = entry->machine();
+  const core::StrategyPtr strategy = make_pooled_strategy(req.strategy, *entry);
+
+  const bool diffed = !req.baseline.empty();
+  if (req.baseline_blind && !diffed)
+    throw usage_error("baseline_blind needs a baseline strategy");
+  if (req.baseline_blind && entry->overlay &&
+      (entry->overlay->num_failed_nodes() > 0 ||
+       entry->overlay->num_failed_links() > 0))
+    throw usage_error(
+        "baseline_blind supports soft faults only (a blind mapping may land "
+        "on failed processors)");
+
+  core::Mapping m;
+  if (entry->overlay) {
+    m = core::map_on_alive(*strategy, g, *entry->overlay, rng);
+  } else {
+    require_square_or_oversub(g, *entry->base, *strategy);
+    m = strategy->map(g, *entry->base, rng);
+  }
+  core::Mapping baseline_m;
+  if (diffed) {
+    const core::StrategyPtr baseline_strategy =
+        make_pooled_strategy(req.baseline, *entry);
+    Rng baseline_rng(req.seed);
+    if (entry->overlay && !req.baseline_blind) {
+      baseline_m =
+          core::map_on_alive(*baseline_strategy, g, *entry->overlay,
+                             baseline_rng);
+    } else {
+      // Blind (or no faults): mapped on the pristine machine, evaluated on
+      // the actual one.
+      topo::FaultOverlay healthy(entry->base);
+      baseline_m =
+          core::map_on_alive(*baseline_strategy, g, healthy, baseline_rng);
+    }
+  }
+
+  core::ContentionReport attr;
+  try {
+    attr = core::attribute_link_loads(g, machine, m);
+  } catch (const precondition_error& e) {
+    // The CLI reports this as a usage mistake (exit 1).
+    throw usage_error(
+        std::string(
+            "this machine has no processor-level routes to attribute (") +
+        e.what() + ")");
+  }
+
+  json::Value result = json::Value::object();
+  result.set("workload", g.label());
+  result.set("machine", entry->base->name());
+  result.set("strategy", strategy->name());
+  if (entry->overlay) result.set("faults", fault_summary(*entry->overlay));
+  result.set("hop_bytes", core::hop_bytes(g, machine, m));
+  result.set("stats", core::contention_stats_to_json(attr.stats));
+  result.set("links", core::contention_links_to_json(attr, req.top_k));
+  if (diffed) {
+    const core::ContentionReport baseline_attr =
+        core::attribute_link_loads(g, machine, baseline_m);
+    const core::ContentionDiff diff =
+        core::diff_contention(baseline_attr, attr);
+    json::Value b = json::Value::object();
+    b.set("strategy", req.baseline);
+    b.set("blind", req.baseline_blind);
+    b.set("stats", core::contention_stats_to_json(baseline_attr.stats));
+    result.set("baseline", std::move(b));
+    result.set("diff", core::contention_diff_to_json(diff, req.top_k));
+  }
+  result.set("mapping", mapping_bytes(m));
+  return result;
+}
+
+json::Value Service::run_evacuate(const Request& req) {
+  const topo::FaultSpec faults = req.fault_spec();
+  if (faults.empty())
+    throw usage_error(
+        "evacuate needs at least one fault (fail_link/fail_node/"
+        "degrade_link/random_*)");
+  Rng rng(req.seed);
+  const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
+  const MachineEntryPtr entry = pool_.acquire(req.topology, faults);
+  const core::StrategyPtr strategy = make_pooled_strategy(req.strategy, *entry);
+
+  // Map on the healthy machine first: the faults strike a running job.
+  topo::FaultOverlay healthy(entry->base);
+  rts::EvacuateOptions evac_options;
+  evac_options.refine_passes = req.refine_passes;
+  evac_options.load_weight = req.load_weight;
+
+  const core::Mapping before = core::map_on_alive(*strategy, g, healthy, rng);
+  const double hb_before = core::hop_bytes(g, *entry->base, before);
+  const rts::EvacuateComparison cmp = rts::compare_evacuate_vs_remap(
+      g, *entry->overlay, before, *strategy, rng, evac_options);
+
+  json::Value result = json::Value::object();
+  result.set("workload", g.label());
+  result.set("machine", entry->base->name());
+  result.set("strategy", strategy->name());
+  result.set("faults", fault_summary(*entry->overlay));
+  result.set("hop_bytes_before", hb_before);
+  json::Value evac = json::Value::object();
+  evac.set("stranded", cmp.evac.stranded);
+  evac.set("migrations", cmp.evac.migrations);
+  evac.set("refine_swaps", cmp.evac.refine_swaps);
+  evac.set("hop_bytes", cmp.evac.hop_bytes);
+  evac.set("load_imbalance", cmp.evac.load_imbalance);
+  result.set("evacuate", std::move(evac));
+  json::Value full = json::Value::object();
+  full.set("migrations", cmp.full_migrations);
+  full.set("hop_bytes", cmp.full_hop_bytes);
+  result.set("full_remap", std::move(full));
+  result.set("hop_bytes_ratio",
+             cmp.full_hop_bytes > 0.0 ? cmp.evac.hop_bytes / cmp.full_hop_bytes
+                                      : 1.0);
+  result.set("mapping", mapping_bytes(cmp.evac.mapping));
+  return result;
+}
+
+json::Value Service::run_optimal(const Request& req) {
+  Rng rng(req.seed);
+  const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
+  const MachineEntryPtr entry = pool_.acquire(req.topology, req.fault_spec());
+  const topo::Topology& machine = entry->machine();
+
+  core::OptimalOptions opts;
+  opts.node_budget = req.budget;
+  opts.symmetry = !req.no_symmetry;
+  const core::OptimalResult optimal =
+      core::find_optimal_mapping(g, machine, opts);
+
+  json::Value result = json::Value::object();
+  result.set("workload", g.label());
+  result.set("machine", machine.name());
+  if (entry->overlay) result.set("faults", fault_summary(*entry->overlay));
+  result.set("hop_bytes", optimal.hop_bytes);
+  result.set("nodes", static_cast<std::int64_t>(optimal.nodes));
+  result.set("pruned", static_cast<std::int64_t>(optimal.pruned));
+  result.set("root_candidates", optimal.root_candidates);
+  if (!req.compare.empty()) {
+    const core::StrategyPtr strategy =
+        make_pooled_strategy(req.compare, *entry);
+    Rng crng(req.seed);
+    const core::Mapping cm =
+        entry->overlay
+            ? core::map_on_alive(*strategy, g, *entry->overlay, crng)
+            : strategy->map(g, *entry->base, crng);
+    const double chb = core::hop_bytes(g, machine, cm);
+    json::Value cmp = json::Value::object();
+    cmp.set("strategy", strategy->name());
+    cmp.set("hop_bytes", chb);
+    cmp.set("optimality_gap",
+            optimal.hop_bytes > 0.0 ? chb / optimal.hop_bytes : 1.0);
+    result.set("compare", std::move(cmp));
+  }
+  // `topomap optimal --output` bytes (plain task/processor lines).
+  std::ostringstream os;
+  for (std::size_t t = 0; t < optimal.mapping.size(); ++t)
+    os << t << ' ' << optimal.mapping[t] << '\n';
+  result.set("mapping", os.str());
+  return result;
+}
+
+json::Value Service::run_status() const {
+  json::Value result = json::Value::object();
+  result.set("requests_served", served_.load());
+  result.set("requests_failed", failed_.load());
+  const CachePoolStats cs = pool_.stats();
+  json::Value cache = json::Value::object();
+  cache.set("hits", cs.hits);
+  cache.set("misses", cs.misses);
+  cache.set("evictions", cs.evictions);
+  cache.set("entries", cs.entries);
+  cache.set("capacity", cs.capacity);
+  result.set("cache", std::move(cache));
+  return result;
+}
+
+void Service::write_report(const Request& req, bool ok) const {
+  if (options_.report_dir.empty()) return;
+  obs::Report report;
+  report.set_meta("command", std::string("svc/") + to_string(req.kind));
+  report.set_meta("request_id", req.id);
+  report.set_meta("workload", req.tasks);
+  report.set_meta("machine", req.topology);
+  report.set_meta("strategy", req.strategy);
+  report.set_meta("seed", std::to_string(req.seed));
+  report.set_meta("ok", ok ? "true" : "false");
+  report.capture();
+  std::string name;
+  for (char c : req.id)
+    name.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  try {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.report_dir, ec);
+    report.write_file(options_.report_dir + "/req-" + name + ".json");
+  } catch (const std::exception& e) {
+    // Artifact I/O must not poison an already-computed response.
+    std::cerr << "topomapd: warning: request report dropped: " << e.what()
+              << "\n";
+  }
+}
+
+}  // namespace topomap::svc

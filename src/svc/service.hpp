@@ -1,0 +1,74 @@
+// svc::Service — topomapd's request executor.
+//
+// One Service instance serves every connection: it owns the shared
+// svc::CachePool and turns protocol Requests into Responses by running the
+// same code paths the one-shot CLI runs (core::make_strategy_with_handle,
+// core::map_on_alive, core::attribute_link_loads, rts::evacuate,
+// core::find_optimal_mapping).  Determinism contract: a request's result —
+// including the embedded mapping bytes — is byte-identical to the
+// equivalent `topomap <kind>` invocation, regardless of how many requests
+// are in flight.  Two ingredients make that hold:
+//
+//   * Each request draws from its own Rng(seed) in exactly the CLI's order
+//     (task-graph generation first, then mapping), so sharing a process
+//     shares no RNG state.
+//   * handle() wraps execution in a support::InlineScope — mapping kernels
+//     run their parallel_for regions inline on the serving thread.  The
+//     repo-wide thread-count-invariance contract (every parallel kernel is
+//     byte-identical at any thread count, including 1) turns request-level
+//     concurrency into the only concurrency, so workers never contend for
+//     the deterministic pool's single job slot.
+//
+// The expensive shareable state — topology, fault overlay, distance plane —
+// comes from the CachePool; the per-request core::CacheHandle is pre-seeded
+// with the pooled plane so composed strategies reuse one fill per machine.
+//
+// Error mapping: anything a request throws becomes a structured error
+// response carrying the exit-code taxonomy category (svc/protocol.hpp);
+// conditions the CLI reports as "usage" (exit 1) — e.g. a non-square
+// mapping request — are raised as svc::usage_error so the client exits 1
+// just like the CLI would.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "svc/cache_pool.hpp"
+#include "svc/protocol.hpp"
+
+namespace topomap::svc {
+
+struct ServiceOptions {
+  /// Distinct machines the CachePool keeps warm.
+  std::size_t cache_capacity = 8;
+  /// When non-empty, every request writes an obs::Report artifact to
+  /// <report_dir>/req-<sanitized id>.json (per-request --stats analogue).
+  std::string report_dir;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Execute one request.  Never throws: failures come back as structured
+  /// error responses with the taxonomy category.
+  Response handle(const Request& req);
+
+  CachePoolStats cache_stats() const { return pool_.stats(); }
+
+ private:
+  json::Value run_map(const Request& req);
+  json::Value run_explain(const Request& req);
+  json::Value run_evacuate(const Request& req);
+  json::Value run_optimal(const Request& req);
+  json::Value run_status() const;
+  void write_report(const Request& req, bool ok) const;
+
+  ServiceOptions options_;
+  CachePool pool_;
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace topomap::svc

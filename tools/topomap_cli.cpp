@@ -52,6 +52,8 @@
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
 #include "topo/components.hpp"
 #include "topo/distance_cache.hpp"
 #include "topo/factory.hpp"
@@ -1011,6 +1013,110 @@ int cmd_chaos(int argc, const char* const* argv) {
   return 0;
 }
 
+/// `topomap client`: one request against a running topomapd.  Reuses the
+/// CLI flag family verbatim (including the fault flags and their parser),
+/// prints the response document, and exits with the taxonomy code the
+/// equivalent one-shot command would have — a server-side
+/// precondition_error comes back as exit 2, an I/O failure reaching the
+/// daemon as exit 4.
+int cmd_client(int argc, const char* const* argv) {
+  CliParser cli(
+      "send one mapping request to a running topomapd and print the "
+      "response");
+  cli.add_option("socket", "daemon unix socket path", "/tmp/topomapd.sock");
+  cli.add_option("tcp",
+                 "daemon TCP endpoint host:port (overrides --socket)", "");
+  cli.add_option("kind", "map | explain | evacuate | optimal | status",
+                 "status");
+  cli.add_option("id", "request id echoed in the response", "cli");
+  cli.add_option("tasks", "workload spec", "stencil2d:8x8");
+  cli.add_option("topology", "machine spec", "torus:8x8");
+  cli.add_option("strategy", "mapping strategy", "topolb");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("baseline", "explain: baseline strategy to diff against",
+                 "");
+  cli.add_flag("baseline-blind",
+               "explain: map the baseline on the pristine machine");
+  cli.add_option("top-k", "explain: contributing task pairs kept per link",
+                 "3");
+  cli.add_option("refine-passes", "evacuate: bounded refine sweeps", "1");
+  cli.add_option("load-weight", "evacuate: neighbourhood-load term weight",
+                 "0");
+  cli.add_option("budget", "optimal: branch-and-bound node budget",
+                 "20000000");
+  cli.add_option("compare",
+                 "optimal: strategy to gap against the optimum ('' skips)",
+                 "topolb");
+  cli.add_flag("no-symmetry", "optimal: disable automorphism pruning");
+  cli.add_option("output", "write the response's mapping bytes here", "");
+  add_fault_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  svc::Request req;
+  req.id = cli.str("id");
+  req.kind = svc::parse_request_kind(cli.str("kind"));
+  req.tasks = cli.str("tasks");
+  req.topology = cli.str("topology");
+  req.strategy = cli.str("strategy");
+  req.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  req.baseline = cli.str("baseline");
+  req.baseline_blind = cli.flag("baseline-blind");
+  req.top_k = static_cast<int>(cli.integer("top-k"));
+  req.refine_passes = static_cast<int>(cli.integer("refine-passes"));
+  req.load_weight = cli.real("load-weight");
+  req.budget = cli.integer("budget");
+  req.compare = cli.str("compare");
+  req.no_symmetry = cli.flag("no-symmetry");
+  req.fail_link = cli.str("fail-link");
+  req.fail_node = cli.str("fail-node");
+  req.degrade_link = cli.str("degrade-link");
+  req.restore_node = cli.str("restore-node");
+  req.restore_link = cli.str("restore-link");
+  req.random_link_faults = cli.integer("random-link-faults");
+  req.random_node_faults = cli.integer("random-node-faults");
+  req.random_degrades = cli.integer("random-degrades");
+  req.fault_seed = static_cast<std::uint64_t>(cli.integer("fault-seed"));
+  // Validate the fault flags client-side with the same parser the one-shot
+  // CLI uses — malformed flags exit 2 without a round-trip (the server
+  // revalidates anyway).
+  (void)req.fault_spec();
+
+  svc::Client client = [&] {
+    if (const std::string tcp = cli.str("tcp"); !tcp.empty()) {
+      const std::size_t colon = tcp.rfind(':');
+      TOPOMAP_REQUIRE(colon != std::string::npos && colon > 0,
+                      "--tcp wants host:port, got '" + tcp + "'");
+      return svc::Client::connect_tcp(
+          tcp.substr(0, colon), std::stoi(tcp.substr(colon + 1)));
+    }
+    return svc::Client::connect_unix(cli.str("socket"));
+  }();
+  const svc::Response resp = client.call(req);
+
+  if (!resp.ok) {
+    // Mirror the one-shot CLI's stderr formatting per category.
+    const std::string& cat = resp.error.category;
+    if (cat == "invariant")
+      std::cerr << "internal error: " << resp.error.message << "\n";
+    else if (cat == "io")
+      std::cerr << "I/O error: " << resp.error.message << "\n";
+    else
+      std::cerr << "error: " << resp.error.message << "\n";
+    return svc::exit_code_for(cat);
+  }
+  std::cout << resp.to_json().dump(2) << "\n";
+  if (const std::string out = cli.str("output"); !out.empty()) {
+    const obs::json::Value* mapping = resp.result.find("mapping");
+    TOPOMAP_REQUIRE(mapping != nullptr && mapping->is_string(),
+                    "response carries no mapping (kind '" + cli.str("kind") +
+                        "' has none) — drop --output");
+    std::ofstream os = open_output(out);
+    os << mapping->as_string();
+    std::cout << "mapping written to " << out << "\n";
+  }
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "topomap — topology-aware task mapping (IPDPS'06 reproduction)\n"
@@ -1024,6 +1130,7 @@ void usage() {
       "  explain    per-link contention attribution, timeline, and diff\n"
       "  optimal    exact branch-and-bound optimum + strategy optimality gap\n"
       "  chaos      soak the dynamic runtime under seeded faults/recovery\n"
+      "  client     send one request to a running topomapd daemon\n"
       "\n"
       "exit codes: 0 success, 1 usage, 2 invalid input (precondition),\n"
       "            3 internal invariant violation, 4 I/O failure\n";
@@ -1049,6 +1156,7 @@ int main(int argc, char** argv) {
     if (command == "explain") return cmd_explain(sub_argc, sub_argv);
     if (command == "optimal") return cmd_optimal(sub_argc, sub_argv);
     if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
+    if (command == "client") return cmd_client(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       usage();
       return 0;

@@ -1,0 +1,99 @@
+// topomapd — the mapping-as-a-service daemon.
+//
+// Serves topomap.svc.request documents (map / explain / evacuate / optimal
+// / status) over a unix-domain socket, optionally mirrored on a localhost
+// TCP port, with a bounded request queue, a fixed worker pool, and a
+// shared distance-plane cache across concurrent requests (src/svc/).
+//
+//   topomapd --socket=/tmp/topomapd.sock --workers=4 &
+//   topomap client --kind=map --tasks=stencil2d:8x8 --topology=torus:8x8
+//
+// SIGTERM/SIGINT trigger a clean drain: stop accepting, finish every
+// queued request, exit 0.  Exit codes follow the topomap taxonomy:
+// 0 success, 1 usage, 2 invalid input, 3 invariant violation, 4 I/O
+// failure (e.g. the socket path cannot be bound).
+#include <csignal>
+#include <iostream>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+topomap::svc::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // one self-pipe write
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topomap;
+  CliParser cli(
+      "serve topology-aware mapping requests over a unix socket "
+      "(optionally TCP) with a shared distance-plane cache");
+  cli.add_option("socket", "unix-domain socket path to listen on",
+                 "/tmp/topomapd.sock");
+  cli.add_option("tcp-port",
+                 "also listen on 127.0.0.1:<port> with the same framing "
+                 "(0 = unix socket only)",
+                 "0");
+  cli.add_option("workers", "request worker threads", "4");
+  cli.add_option("queue",
+                 "bounded request-queue depth (readers block when full)",
+                 "64");
+  cli.add_option("cache",
+                 "distinct machines kept warm in the distance-plane pool",
+                 "8");
+  cli.add_option("report-dir",
+                 "write one obs::Report artifact per request here ('' = off)",
+                 "");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    svc::ServerOptions options;
+    options.socket_path = cli.str("socket");
+    options.tcp_port = static_cast<int>(cli.integer("tcp-port"));
+    options.workers = static_cast<std::size_t>(cli.integer("workers"));
+    options.queue_capacity = static_cast<std::size_t>(cli.integer("queue"));
+    options.service.cache_capacity =
+        static_cast<std::size_t>(cli.integer("cache"));
+    options.service.report_dir = cli.str("report-dir");
+    TOPOMAP_REQUIRE(options.queue_capacity >= 1,
+                    "--queue must be at least 1");
+
+    // write_frame uses MSG_NOSIGNAL, but ignore SIGPIPE globally anyway so
+    // a vanished client can never kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    svc::Server server(options);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::cout << "topomapd listening on " << options.socket_path;
+    if (options.tcp_port > 0)
+      std::cout << " and 127.0.0.1:" << options.tcp_port;
+    std::cout << " (" << options.workers << " workers, queue "
+              << options.queue_capacity << ", cache "
+              << options.service.cache_capacity << ")" << std::endl;
+    server.join();
+    g_server = nullptr;
+    std::cout << "topomapd: clean shutdown" << std::endl;
+    return 0;
+  } catch (const precondition_error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const invariant_error& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 3;
+  } catch (const io_error& e) {
+    std::cerr << "I/O error: " << e.what() << "\n";
+    return 4;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
