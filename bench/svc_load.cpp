@@ -5,7 +5,11 @@
 // Two tables go to bench_results/:
 //
 //   svc_load        per-kind request counts plus p50/p99 client-observed
-//                   latency.  The latency columns are named *_ms_wall so
+//                   latency, estimated from obs::Histogram (the same
+//                   log-bucketed quantiles the daemon's metrics snapshot
+//                   reports — samples land in microsecond buckets, so the
+//                   bench and `topomap top` agree on methodology).  The
+//                   latency columns are named *_ms_wall so
 //                   scripts/bench_compare.py keeps them in the committed
 //                   BENCH_mapping.json as informational columns but never
 //                   fails the gate on them (machine speed is not a
@@ -31,7 +35,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
-#include "support/stats.hpp"
+#include "obs/histogram.hpp"
 #include "svc/client.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
@@ -112,11 +116,13 @@ int main(int argc, char** argv) {
 
   const std::vector<svc::Request> reqs = mixed_workload(total);
 
-  // One latency sample set per request kind (plus the overall set), one
+  // One latency histogram per request kind (plus the overall one), one
   // connection per client, work-stealing over the shared request list.
-  std::map<std::string, SampleStats> latency;
+  // Samples are microseconds: obs::Histogram's bucket 0 absorbs values
+  // below 1.0, so sub-millisecond latencies need the finer unit.
+  std::map<std::string, obs::Histogram> latency;
   std::map<std::string, std::int64_t> sent, succeeded;
-  SampleStats overall;
+  obs::Histogram overall;
   for (const svc::Request& r : reqs) {
     latency[svc::to_string(r.kind)];
     ++sent[svc::to_string(r.kind)];
@@ -133,13 +139,13 @@ int main(int argc, char** argv) {
           if (i >= reqs.size()) break;
           const auto t0 = std::chrono::steady_clock::now();
           const svc::Response resp = client.call(reqs[i]);
-          const double ms =
-              std::chrono::duration<double, std::milli>(
+          const double us =
+              std::chrono::duration<double, std::micro>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
           std::lock_guard<std::mutex> lock(agg_mu);
-          latency[svc::to_string(reqs[i].kind)].add(ms);
-          overall.add(ms);
+          latency[svc::to_string(reqs[i].kind)].add(us);
+          overall.add(us);
           if (resp.ok) ++succeeded[svc::to_string(reqs[i].kind)];
         }
       });
@@ -155,14 +161,15 @@ int main(int argc, char** argv) {
                   " workers)",
               {"kind", "requests", "ok", "p50_ms_wall", "p99_ms_wall"}, 3);
   std::int64_t ok_total = 0;
-  for (auto& [kind, stats] : latency) {
-    table.add_row({kind, sent[kind], succeeded[kind], stats.percentile(0.5),
-                   stats.percentile(0.99)});
+  for (auto& [kind, hist] : latency) {
+    table.add_row({kind, sent[kind], succeeded[kind],
+                   hist.quantile(0.5) / 1000.0,
+                   hist.quantile(0.99) / 1000.0});
     ok_total += succeeded[kind];
   }
   table.add_row({std::string("all"), static_cast<std::int64_t>(reqs.size()),
-                 ok_total, overall.percentile(0.5),
-                 overall.percentile(0.99)});
+                 ok_total, overall.quantile(0.5) / 1000.0,
+                 overall.quantile(0.99) / 1000.0});
   bench::emit(table, "svc_load");
 
   const std::int64_t acquires =

@@ -8,6 +8,7 @@ Usage:
     scripts/check_trace.py --stats stats.json --require-counter NAME
     scripts/check_trace.py --trace trace.json --require-counter-track NAME
     scripts/check_trace.py --contention report.json  # explain artifact
+    scripts/check_trace.py --svc metrics.json        # daemon telemetry
 
 A trace must be a JSON array of events: complete spans ("ph" == "X" with
 numeric "ts"/"dur" >= 0) or counter samples ("ph" == "C" with numeric "ts"
@@ -23,9 +24,15 @@ and is a positive integer.  --contention validates a `topomap explain`
 artifact ("topomap.obs.contention", version 1): per-link contributor sums
 must equal the link totals, the stats total must equal the links' sum,
 timeline arrays must be parallel with ascending timestamps and utilization
-in [0, 1], and any diff must satisfy delta == bytes_b - bytes_a.  Exit 0
-on success, 1 on validation failure, 2 on usage or I/O errors.  Stdlib
-only — no third-party imports.
+in [0, 1], and any diff must satisfy delta == bytes_b - bytes_a.
+--svc validates daemon telemetry by schema: a "topomap.svc.metrics"
+snapshot (all request kinds present in by_kind, by_kind sums matching the
+totals, ascending non-empty histogram buckets whose counts sum to each
+histogram's count) or a "topomap.svc.flight" dump (ascending seqs plus
+per-correlation lifecycle nesting — accept/enqueue precede the request
+interval, every acquire nests inside its done/error interval, serialize
+starts after it).  Exit 0 on success, 1 on validation failure, 2 on usage
+or I/O errors.  Stdlib only — no third-party imports.
 """
 
 import argparse
@@ -36,6 +43,13 @@ SCHEMA_NAME = "topomap.obs.report"
 SCHEMA_VERSION = 1
 CONTENTION_SCHEMA_NAME = "topomap.obs.contention"
 CONTENTION_SCHEMA_VERSION = 1
+METRICS_SCHEMA_NAME = "topomap.svc.metrics"
+FLIGHT_SCHEMA_NAME = "topomap.svc.flight"
+SVC_SCHEMA_VERSION = 1
+REQUEST_KINDS = ("map", "explain", "evacuate", "optimal", "status",
+                 "metrics", "flight")
+FLIGHT_STAGES = ("accept", "enqueue", "dequeue", "acquire", "serialize",
+                 "done", "error")
 EPS = 1e-9
 
 
@@ -228,12 +242,184 @@ def check_contention(path: str) -> None:
           f"{', diff' if diff is not None else ''})")
 
 
+def nonneg_int(doc: dict, key: str, path: str, where: str) -> float:
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or v < 0 or v != int(v):
+        fail(f"{path}: {where}.{key} must be a non-negative integer, "
+             f"got {v!r}")
+    return v
+
+
+def check_svc_metrics(path: str, doc: dict) -> None:
+    requests = doc.get("requests")
+    if not isinstance(requests, dict):
+        fail(f"{path}: missing 'requests' object")
+    served = nonneg_int(requests, "served", path, "requests")
+    failed = nonneg_int(requests, "failed", path, "requests")
+    by_kind = requests.get("by_kind")
+    if not isinstance(by_kind, dict):
+        fail(f"{path}: missing requests.by_kind object")
+    # Every kind is always present — the key set is part of the contract
+    # that makes snapshots from two runs comparable.
+    if sorted(by_kind) != sorted(REQUEST_KINDS):
+        fail(f"{path}: by_kind kinds {sorted(by_kind)} != "
+             f"{sorted(REQUEST_KINDS)}")
+    for kind, counts in by_kind.items():
+        if not isinstance(counts, dict):
+            fail(f"{path}: by_kind.{kind} is not an object")
+        nonneg_int(counts, "served", path, f"by_kind.{kind}")
+        nonneg_int(counts, "failed", path, f"by_kind.{kind}")
+    if sum(c["served"] for c in by_kind.values()) != served:
+        fail(f"{path}: by_kind served counts do not sum to "
+             f"requests.served {served}")
+    if sum(c["failed"] for c in by_kind.values()) != failed:
+        fail(f"{path}: by_kind failed counts do not sum to "
+             f"requests.failed {failed}")
+    nonneg_int(doc, "queue_depth", path, "snapshot")
+    pool = doc.get("pool")
+    if not isinstance(pool, dict):
+        fail(f"{path}: missing 'pool' object")
+    for key in ("hits", "misses", "evictions", "entries", "capacity"):
+        nonneg_int(pool, key, path, "pool")
+    if pool["entries"] > pool["capacity"]:
+        fail(f"{path}: pool.entries {pool['entries']} exceeds capacity "
+             f"{pool['capacity']}")
+    scheme = doc.get("bucket_scheme")
+    if not isinstance(scheme, dict) or scheme.get("kind") != "log2-linear":
+        fail(f"{path}: bucket_scheme missing or kind != 'log2-linear'")
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail(f"{path}: missing 'histograms' object")
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            fail(f"{path}: histogram {name} is not an object")
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p90",
+                    "p99"):
+            if not isinstance(h.get(key), (int, float)):
+                fail(f"{path}: histogram {name} missing numeric '{key}'")
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"{path}: histogram {name} missing buckets array")
+        total, prev_lo = 0, None
+        for i, triple in enumerate(buckets):
+            if (not isinstance(triple, list) or len(triple) != 3
+                    or not all(isinstance(x, (int, float)) for x in triple)):
+                fail(f"{path}: histogram {name} bucket {i} is not a "
+                     f"[lo, hi, count] triple")
+            lo, hi, count = triple
+            if lo >= hi:
+                fail(f"{path}: histogram {name} bucket {i}: lo {lo} >= "
+                     f"hi {hi}")
+            if count <= 0:
+                fail(f"{path}: histogram {name} bucket {i} is empty — only "
+                     f"populated buckets are serialized")
+            if prev_lo is not None and lo <= prev_lo:
+                fail(f"{path}: histogram {name} buckets not ascending "
+                     f"at {i}")
+            prev_lo = lo
+            total += count
+        if total != h["count"]:
+            fail(f"{path}: histogram {name}: bucket counts sum {total} != "
+                 f"count {h['count']}")
+    print(f"check_trace: OK: {path} (metrics snapshot: {int(served)} "
+          f"served, {int(failed)} failed, {len(hists)} histograms)")
+
+
+def check_svc_flight(path: str, doc: dict) -> None:
+    capacity = nonneg_int(doc, "capacity", path, "flight")
+    nonneg_int(doc, "recorded", path, "flight")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail(f"{path}: missing 'events' array")
+    if len(events) > capacity:
+        fail(f"{path}: {len(events)} events exceed capacity {capacity}")
+    prev_seq = -1
+    by_corr = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: events[{i}] is not an object")
+        seq = nonneg_int(ev, "seq", path, f"events[{i}]")
+        nonneg_int(ev, "t_ns", path, f"events[{i}]")
+        nonneg_int(ev, "dur_ns", path, f"events[{i}]")
+        for key in ("corr", "kind", "stage"):
+            if not isinstance(ev.get(key), str) or not ev[key]:
+                fail(f"{path}: events[{i}] missing string '{key}'")
+        if ev["stage"] not in FLIGHT_STAGES:
+            fail(f"{path}: events[{i}] has unknown stage "
+                 f"{ev['stage']!r}")
+        if seq <= prev_seq:
+            fail(f"{path}: events[{i}] seq {seq} not ascending")
+        prev_seq = seq
+        by_corr.setdefault(ev["corr"], []).append(ev)
+    # Lifecycle nesting per correlation id.  The ring may have dropped
+    # stages for a given request, so only pairs both present are checked:
+    # accept/enqueue happen before the request interval (the done/error
+    # event spans handle() start to end), every acquire nests inside it,
+    # and serialize starts at or after its end.
+    nested = 0
+    for corr, evs in by_corr.items():
+        finish = next((e for e in evs if e["stage"] in ("done", "error")),
+                      None)
+        if finish is None:
+            continue
+        t0, t1 = finish["t_ns"], finish["t_ns"] + finish["dur_ns"]
+        for ev in evs:
+            stage = ev["stage"]
+            if stage in ("accept", "enqueue", "dequeue"):
+                if ev["t_ns"] > t0:
+                    fail(f"{path}: corr {corr}: {stage} at {ev['t_ns']} "
+                         f"after request start {t0}")
+            elif stage == "acquire":
+                if ev["t_ns"] < t0 or ev["t_ns"] + ev["dur_ns"] > t1:
+                    fail(f"{path}: corr {corr}: acquire "
+                         f"[{ev['t_ns']}, {ev['t_ns'] + ev['dur_ns']}] "
+                         f"not nested in request [{t0}, {t1}]")
+                nested += 1
+            elif stage == "serialize":
+                if ev["t_ns"] < t1:
+                    fail(f"{path}: corr {corr}: serialize at {ev['t_ns']} "
+                         f"before request end {t1}")
+    print(f"check_trace: OK: {path} (flight dump: {len(events)} events, "
+          f"{len(by_corr)} correlation ids, {nested} nested acquires)")
+
+
+def check_svc(path: str) -> None:
+    """Dispatch a daemon telemetry document by its schema field."""
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: svc document must be a JSON object")
+    # `topomap client` prints the whole response envelope; accept either
+    # the envelope (unwrapping its result) or a bare snapshot document.
+    if doc.get("schema") == "topomap.svc.response":
+        if doc.get("status") != "ok":
+            fail(f"{path}: response envelope has "
+                 f"status={doc.get('status')!r}")
+        doc = doc.get("result")
+        if not isinstance(doc, dict):
+            fail(f"{path}: response envelope has no result object")
+    schema = doc.get("schema")
+    if doc.get("schema_version") != SVC_SCHEMA_VERSION:
+        fail(f"{path}: schema_version={doc.get('schema_version')!r}, "
+             f"want {SVC_SCHEMA_VERSION}")
+    if schema == METRICS_SCHEMA_NAME:
+        check_svc_metrics(path, doc)
+    elif schema == FLIGHT_SCHEMA_NAME:
+        check_svc_flight(path, doc)
+    else:
+        fail(f"{path}: schema={schema!r}, want {METRICS_SCHEMA_NAME!r} or "
+             f"{FLIGHT_SCHEMA_NAME!r}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
     parser.add_argument("--stats", help="obs::Report JSON file to validate")
     parser.add_argument("--contention",
                         help="topomap explain contention report to validate")
+    parser.add_argument("--svc", action="append", default=[], metavar="FILE",
+                        help="daemon telemetry document to validate "
+                             "(metrics snapshot or flight dump, dispatched "
+                             "by schema; repeatable)")
     parser.add_argument("--require-series", action="append", default=[],
                         metavar="NAME",
                         help="assert this series exists in --stats and is "
@@ -250,8 +436,9 @@ def main() -> None:
                         default=[], metavar="NAME",
                         help="assert this counter track exists in --trace")
     args = parser.parse_args()
-    if not args.trace and not args.stats and not args.contention:
-        parser.error("give --trace, --stats, and/or --contention")
+    if (not args.trace and not args.stats and not args.contention
+            and not args.svc):
+        parser.error("give --trace, --stats, --contention, and/or --svc")
     if ((args.require_series or args.require_any_series
          or args.require_counter) and not args.stats):
         parser.error("--require-series/--require-any-series/"
@@ -265,6 +452,8 @@ def main() -> None:
                     args.require_counter)
     if args.contention:
         check_contention(args.contention)
+    for path in args.svc:
+        check_svc(path)
 
 
 if __name__ == "__main__":

@@ -72,6 +72,72 @@ python3 scripts/check_trace.py --trace "$OBS_TMP/explain_trace.json" \
   --require-any-series netsim/queue_depth
 echo "obs slice ok: artifacts validate, mapping identical to release build"
 
+echo "=== telemetry e2e (obs build): daemon metrics/flight/event-log ==="
+# The service telemetry plane end to end: an instrumented daemon with the
+# event log active serves requests, its metrics snapshot and flight dump
+# validate against the strict schemas (including per-correlation lifecycle
+# nesting), the Prometheus exposition carries the request counters, the
+# latency histograms populate, SIGUSR1 dumps the flight recorder, the
+# event log holds one line per request with unique correlation ids — and
+# the served mapping bytes are identical to an uninstrumented daemon's.
+SVC_SOCK="$OBS_TMP/topomapd.sock"
+build-ci-obs/tools/topomapd --socket="$SVC_SOCK" --workers=4 \
+  --event-log="$OBS_TMP/events.jsonl" --flight-capacity=64 \
+  --stats="$OBS_TMP/svc_stats.json" 2>"$OBS_TMP/topomapd.log" &
+SVC_PID=$!
+for _ in $(seq 50); do [ -S "$SVC_SOCK" ] && break; sleep 0.1; done
+for i in 1 2 3; do
+  build-ci-obs/tools/topomap client --socket="$SVC_SOCK" --kind=map \
+    --tasks=stencil2d:4x4 --topology=torus:4x4 --seed="$i" \
+    > "$OBS_TMP/resp_obs_$i.json"
+done
+build-ci-obs/tools/topomap client --socket="$SVC_SOCK" --kind=metrics \
+  > "$OBS_TMP/metrics.json"
+build-ci-obs/tools/topomap client --socket="$SVC_SOCK" --kind=metrics \
+  --prom > "$OBS_TMP/metrics.prom"
+grep -q 'topomap_requests_by_kind_total{kind="map",outcome="served"} 3' \
+  "$OBS_TMP/metrics.prom"
+build-ci-obs/tools/topomap client --socket="$SVC_SOCK" --kind=flight \
+  > "$OBS_TMP/flight.json"
+python3 scripts/check_trace.py --svc "$OBS_TMP/metrics.json" \
+  --svc "$OBS_TMP/flight.json"
+# The instrumented daemon's snapshot must carry per-stage histograms.
+python3 - "$OBS_TMP/metrics.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))["result"]
+hists = doc["histograms"]
+for name in ("svc/map/total_us", "svc/map/acquire_us", "svc/map/kernel_us"):
+    assert name in hists and hists[name]["count"] == 3, \
+        f"missing/short histogram {name}: {sorted(hists)}"
+PYEOF
+kill -USR1 "$SVC_PID"
+sleep 0.5
+grep -q "flight recorder" "$OBS_TMP/topomapd.log"
+kill "$SVC_PID" && wait "$SVC_PID"
+# One event-log line per request, every correlation id unique.
+python3 - "$OBS_TMP/events.jsonl" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+corrs = [l["corr"] for l in lines]
+assert len(lines) >= 5 and len(set(corrs)) == len(corrs), corrs
+PYEOF
+python3 scripts/check_trace.py --stats "$OBS_TMP/svc_stats.json"
+# Telemetry must not perturb served bytes: replay against an
+# uninstrumented daemon and byte-compare the responses.
+PLAIN_SOCK="$OBS_TMP/topomapd-plain.sock"
+build-ci-release/tools/topomapd --socket="$PLAIN_SOCK" --workers=4 \
+  2>/dev/null &
+PLAIN_PID=$!
+for _ in $(seq 50); do [ -S "$PLAIN_SOCK" ] && break; sleep 0.1; done
+for i in 1 2 3; do
+  build-ci-release/tools/topomap client --socket="$PLAIN_SOCK" --kind=map \
+    --tasks=stencil2d:4x4 --topology=torus:4x4 --seed="$i" \
+    > "$OBS_TMP/resp_plain_$i.json"
+  diff "$OBS_TMP/resp_plain_$i.json" "$OBS_TMP/resp_obs_$i.json"
+done
+kill "$PLAIN_PID" && wait "$PLAIN_PID"
+echo "telemetry e2e ok: schemas validate, bytes identical with obs on/off"
+
 echo "=== sanitize (ASan/UBSan): labeled slices ==="
 cmake -B build-ci-sanitize -S . -DTOPOMAP_SANITIZE=ON >/dev/null
 cmake --build build-ci-sanitize -j "$JOBS"
@@ -84,5 +150,14 @@ done
 build-ci-sanitize/tools/topomap chaos --tasks=stencil2d:12x12 \
   --topology=torus:6x6 --epochs=40 --chaos=7:0.8:0.2 >/dev/null
 echo "sanitized chaos soak ok"
+
+echo "=== sanitize + obs: svc slice with telemetry compiled in ==="
+# The telemetry hot paths — registry histogram shards, the flight ring's
+# seqlock, the event-log rotation — under ASan/UBSan with the obs macro
+# sites live, driven by the svc suites (64 in-flight with metrics polling).
+cmake -B build-ci-obs-sanitize -S . -DTOPOMAP_SANITIZE=ON \
+  -DTOPOMAP_OBS=ON >/dev/null
+cmake --build build-ci-obs-sanitize -j "$JOBS"
+ctest --test-dir build-ci-obs-sanitize --output-on-failure -j "$JOBS" -L svc
 
 echo "ci passed"

@@ -247,7 +247,8 @@ echo "ok: explain            A-vs-B diff, contention report, counter tracks"
 # taxonomy survives the network hop, then shut down cleanly on SIGTERM.
 DAEMON="$BUILD_DIR/tools/topomapd"
 SOCK="$TMP/topomapd.sock"
-"$DAEMON" --socket="$SOCK" --workers=2 > "$TMP/daemon.log" 2>&1 &
+"$DAEMON" --socket="$SOCK" --workers=2 --event-log="$TMP/events.jsonl" \
+  --flight-capacity=64 > "$TMP/daemon.log" 2>&1 &
 DAEMON_PID=$!
 for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
 if [ ! -S "$SOCK" ]; then
@@ -270,6 +271,30 @@ expect_rc 2 "unknown strategy via daemon" "$CLI" client --socket="$SOCK" \
   --kind=map --strategy=frobnicate --tasks=stencil2d:4x4 --topology=torus:4x4
 expect_rc 4 "client without a daemon" "$CLI" client --socket="$TMP/nope.sock" \
   --kind=status
+# Telemetry surfaces: the metrics snapshot and flight dump validate
+# against the strict schemas, the Prometheus exposition and `topomap top`
+# render, --prom is rejected off the metrics kind, and SIGUSR1 makes the
+# daemon dump its flight recorder to stderr.
+"$CLI" client --socket="$SOCK" --kind=metrics > "$TMP/metrics.json"
+python3 scripts/check_trace.py --svc "$TMP/metrics.json"
+"$CLI" client --socket="$SOCK" --kind=metrics --prom > "$TMP/metrics.prom"
+grep -q '^topomap_requests_served_total ' "$TMP/metrics.prom"
+grep -q '^topomap_queue_depth ' "$TMP/metrics.prom"
+# Two distinct machines by now: the served torus:8x8 map and the failed
+# frobnicate request's torus:4x4 (the plane is acquired before the unknown
+# strategy is rejected).
+grep -q 'topomap_pool_events_total{event="misses"} 2' "$TMP/metrics.prom"
+"$CLI" client --socket="$SOCK" --kind=flight > "$TMP/flight.json"
+python3 scripts/check_trace.py --svc "$TMP/flight.json"
+"$CLI" top --socket="$SOCK" --iterations=1 > "$TMP/top.log"
+grep -q 'topomapd  served' "$TMP/top.log"
+expect_rc 2 "--prom off the metrics kind" "$CLI" client --socket="$SOCK" \
+  --kind=status --prom
+kill -USR1 "$DAEMON_PID"
+for _ in $(seq 1 50); do
+  grep -q 'flight recorder' "$TMP/daemon.log" && break; sleep 0.05
+done
+grep -q 'flight recorder' "$TMP/daemon.log"
 kill -TERM "$DAEMON_PID"
 DAEMON_RC=0
 wait "$DAEMON_PID" || DAEMON_RC=$?
@@ -283,6 +308,17 @@ if [ -S "$SOCK" ]; then
   echo "FAIL: topomapd left its socket behind after shutdown" >&2
   exit 1
 fi
+# The event log holds one JSONL line per completed request, every
+# correlation id unique.
+python3 - "$TMP/events.jsonl" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+corrs = [l["corr"] for l in lines]
+assert len(lines) >= 5, f"only {len(lines)} event-log lines"
+assert len(set(corrs)) == len(corrs), f"duplicate correlation ids: {corrs}"
+assert any(not l["ok"] for l in lines), "failed request missing from log"
+PYEOF
 echo "ok: topomapd           serve == one-shot bytes, taxonomy intact, clean stop"
+echo "ok: telemetry          metrics/flight schemas, prom, top, SIGUSR1, event log"
 
 echo "smoke test passed"

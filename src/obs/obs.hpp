@@ -4,6 +4,7 @@
 //
 //   OBS_COUNTER_ADD("topolb/f_est_evals", nf);   // monotonic counter
 //   OBS_VALUE("distcache/rows_repaired", rows);  // count/sum/min/max dist
+//   OBS_HISTOGRAM("svc/map/kernel_us", us);      // log-bucketed histogram
 //   OBS_SERIES_APPEND("topolb/hop_bytes_trajectory", hb);  // ordered series
 //   OBS_SPAN("topolb/map");                      // RAII phase span
 //   OBS_ONLY(<statements>);                      // arbitrary obs-only code
@@ -54,6 +55,15 @@
           (name), static_cast<double>(value));                     \
   } while (false)
 
+/// Record one sample into the named log-bucketed histogram
+/// (obs/histogram.hpp: fixed boundaries, exact thread-shard merges).
+#define OBS_HISTOGRAM(name, value)                                  \
+  do {                                                              \
+    if (::topomap::obs::enabled())                                  \
+      ::topomap::obs::Registry::instance().observe(                 \
+          (name), static_cast<double>(value));                      \
+  } while (false)
+
 /// Append one point to the named ordered series (single writer per name).
 #define OBS_SERIES_APPEND(name, value)                             \
   do {                                                             \
@@ -78,6 +88,9 @@
   } while (false)
 #define OBS_VALUE(name, value) \
   do {                         \
+  } while (false)
+#define OBS_HISTOGRAM(name, value) \
+  do {                             \
   } while (false)
 #define OBS_SERIES_APPEND(name, value) \
   do {                                 \

@@ -24,6 +24,7 @@ std::chrono::steady_clock::time_point epoch() {
 // found path.
 using CounterMap = std::map<std::string, std::uint64_t, std::less<>>;
 using DistMap = std::map<std::string, Distribution, std::less<>>;
+using HistMap = std::map<std::string, Histogram, std::less<>>;
 
 }  // namespace
 
@@ -44,6 +45,7 @@ struct Registry::Shard {
   std::mutex mu;
   CounterMap counters;
   DistMap dists;
+  HistMap hists;
 };
 
 struct Registry::Impl {
@@ -51,6 +53,7 @@ struct Registry::Impl {
   std::vector<Shard*> shards;
   CounterMap retired_counters;
   DistMap retired_dists;
+  HistMap retired_hists;
   std::map<std::string, std::vector<double>, std::less<>> series;
 };
 
@@ -98,6 +101,7 @@ void Registry::retire_shard(Shard* shard) {
     for (const auto& [name, v] : shard->counters)
       im->retired_counters[name] += v;
     for (const auto& [name, d] : shard->dists) im->retired_dists[name].merge(d);
+    for (const auto& [name, h] : shard->hists) im->retired_hists[name].merge(h);
   }
   std::erase(im->shards, shard);
   delete shard;
@@ -127,6 +131,16 @@ void Registry::record(std::string_view name, double value) {
     it->second.add(value);
   else
     s.dists.emplace(std::string(name), Distribution{}).first->second.add(value);
+}
+
+void Registry::observe(std::string_view name, double value) {
+  Shard& s = local_shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.hists.find(name);
+  if (it != s.hists.end())
+    it->second.add(value);
+  else
+    s.hists.emplace(std::string(name), Histogram{}).first->second.add(value);
 }
 
 void Registry::append_series(std::string_view name, double value) {
@@ -163,6 +177,18 @@ std::map<std::string, Distribution> Registry::distributions() const {
   return out;
 }
 
+std::map<std::string, Histogram> Registry::histograms() const {
+  Impl* im = const_cast<Registry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::map<std::string, Histogram> out(im->retired_hists.begin(),
+                                       im->retired_hists.end());
+  for (Shard* shard : im->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, h] : shard->hists) out[name].merge(h);
+  }
+  return out;
+}
+
 std::map<std::string, std::vector<double>> Registry::series() const {
   Impl* im = const_cast<Registry*>(this)->impl();
   std::lock_guard<std::mutex> lock(im->mu);
@@ -180,11 +206,13 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lock(im->mu);
   im->retired_counters.clear();
   im->retired_dists.clear();
+  im->retired_hists.clear();
   im->series.clear();
   for (Shard* shard : im->shards) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     shard->counters.clear();
     shard->dists.clear();
+    shard->hists.clear();
   }
 }
 

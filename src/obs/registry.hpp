@@ -1,5 +1,5 @@
-// obs::Registry — named monotonic counters, value distributions, and
-// ordered numeric series for the whole stack.
+// obs::Registry — named monotonic counters, value distributions,
+// log-bucketed histograms, and ordered numeric series for the whole stack.
 //
 // Instrumentation sites (mapping kernels, DistanceCache repairs, the
 // network simulator, the runtime drivers) record through the OBS_* macros
@@ -10,11 +10,13 @@
 // anything back from the registry — so enabling telemetry can never change
 // a mapping result or break support::parallel's byte-identity contract.
 //
-// Concurrency & determinism: counters and distributions are recorded into
-// *thread-local shards* (one uncontended mutex lock per record; the mutex
-// exists only so snapshots can read a live shard safely).  A snapshot
-// merges every shard per name into one sorted map.  Counter sums are
-// integers, and distribution merges are count/sum/min/max, so the merged
+// Concurrency & determinism: counters, distributions, and histograms are
+// recorded into *thread-local shards* (one uncontended mutex lock per
+// record; the mutex exists only so snapshots can read a live shard
+// safely).  A snapshot merges every shard per name into one sorted map.
+// Counter sums are integers, distribution merges are count/sum/min/max,
+// and histogram merges are per-bucket count additions over *fixed* bucket
+// boundaries (obs/histogram.hpp), so the merged
 // snapshot is independent of which worker thread happened to run which
 // parallel_for chunk: the same run records the same multiset of values per
 // name no matter the thread count, and the merge is order-free for every
@@ -34,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "support/stats.hpp"
 
 namespace topomap::obs {
@@ -57,6 +60,7 @@ class Registry {
   // --- recording (any thread) ---
   void add(std::string_view name, std::uint64_t delta);
   void record(std::string_view name, double value);
+  void observe(std::string_view name, double value);  ///< histogram sample
 
   // --- recording (one thread per name) ---
   void append_series(std::string_view name, double value);
@@ -64,6 +68,7 @@ class Registry {
   // --- snapshots (any thread; merge all shards) ---
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, Distribution> distributions() const;
+  std::map<std::string, Histogram> histograms() const;
   std::map<std::string, std::vector<double>> series() const;
 
   /// Single counter value, 0 when never touched.  Snapshot-priced; for

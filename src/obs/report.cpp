@@ -23,6 +23,28 @@ json::Value dist_json(const Distribution& d) {
 
 }  // namespace
 
+json::Value histogram_to_json(const Histogram& h) {
+  json::Value v = json::Value::object();
+  v.set("count", h.count());
+  v.set("sum", h.sum());
+  v.set("min", h.min_or_zero());
+  v.set("max", h.max_or_zero());
+  v.set("mean", h.mean());
+  v.set("p50", h.quantile(0.5));
+  v.set("p90", h.quantile(0.9));
+  v.set("p99", h.quantile(0.99));
+  json::Value buckets = json::Value::array();
+  for (int i : h.nonempty_buckets()) {
+    json::Value triple = json::Value::array();
+    triple.push_back(Histogram::bucket_lo(i));
+    triple.push_back(Histogram::bucket_hi(i));
+    triple.push_back(h.bucket(i));
+    buckets.push_back(std::move(triple));
+  }
+  v.set("buckets", std::move(buckets));
+  return v;
+}
+
 void Report::set_meta(const std::string& key, const std::string& value) {
   meta_[key] = value;
 }
@@ -41,6 +63,7 @@ void Report::capture() {
   Registry& reg = Registry::instance();
   counters_ = reg.counters();
   distributions_ = reg.distributions();
+  histograms_ = reg.histograms();
   spans_ = Tracer::instance().rollup();
   // Explicit add_series() entries shadow same-named captured series.
   auto captured = reg.series();
@@ -64,6 +87,13 @@ json::Value Report::to_json() const {
   json::Value dists = json::Value::object();
   for (const auto& [name, d] : distributions_) dists.set(name, dist_json(d));
   doc.set("distributions", std::move(dists));
+
+  // A new section, not a version bump: consumers tolerate unknown
+  // sections within a schema version.
+  json::Value hists = json::Value::object();
+  for (const auto& [name, h] : histograms_)
+    hists.set(name, histogram_to_json(h));
+  doc.set("histograms", std::move(hists));
 
   json::Value series = json::Value::object();
   for (const auto& [name, values] : series_) {

@@ -5,6 +5,10 @@
 //                     seed, thread count, ...), string → string
 //   * counters      — name → integer, from obs::Registry
 //   * distributions — name → {count,sum,min,max,mean}, from obs::Registry
+//   * histograms    — name → {count,sum,min,max,mean,p50,p90,p99,
+//                     buckets:[[lo,hi,count],...]} log-bucketed latency/
+//                     value histograms (obs/histogram.hpp), non-empty
+//                     buckets only, from obs::Registry
 //   * series        — name → [numbers], ordered trajectories (e.g. TopoLB's
 //                     per-iteration hop-bytes), from the Registry plus any
 //                     add_series() calls
@@ -34,10 +38,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "support/stats.hpp"
 
 namespace topomap::obs {
+
+/// The one JSON rendering of a Histogram, shared by obs::Report and the
+/// svc metrics snapshot: summary fields plus the non-empty buckets as
+/// [lo, hi, count] triples (boundaries are deterministic by construction).
+json::Value histogram_to_json(const Histogram& h);
 
 class Report {
  public:
@@ -78,6 +88,7 @@ class Report {
   std::map<std::string, std::string> meta_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Distribution> distributions_;
+  std::map<std::string, Histogram> histograms_;
   std::map<std::string, std::vector<double>> series_;
   std::map<std::string, Distribution> spans_;
   std::map<std::string, Table> tables_;

@@ -197,6 +197,10 @@ ScopedSpan::~ScopedSpan() {
   if (name_ == nullptr) return;
   const std::uint64_t dur = now_ns() - start_ns_;
   --Tracer::thread_depth();
+  // Dropped, not recorded, when recording was switched off while the span
+  // was open: the depth counter must still balance, but a sample landing
+  // after set_enabled(false) would violate "disabled records nothing".
+  if (!enabled()) return;
   Tracer::instance().record(name_, start_ns_, dur, depth_);
 }
 

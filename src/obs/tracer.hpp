@@ -107,8 +107,9 @@ class Tracer {
 };
 
 /// RAII span: captures the clock on entry when obs::enabled(), records on
-/// exit.  A span that outlives a set_enabled(false) still records (cheap,
-/// and keeps open/close pairing trivially balanced).
+/// exit.  A span that outlives a set_enabled(false) is dropped at close —
+/// the depth counter still balances, but nothing is recorded, so
+/// "disabled" means no sample lands after the switch flips.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);

@@ -1,0 +1,99 @@
+#include "svc/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace topomap::svc {
+
+namespace {
+
+int open_trunc(const std::string& path) {
+  return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+EventLog::~EventLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventLog::open(std::string path, std::size_t max_bytes) {
+  TOPOMAP_REQUIRE(max_bytes > 0, "event log: max_bytes must be positive");
+  const int fd = open_trunc(path);
+  if (fd < 0)
+    throw io_error("event log: cannot open '" + path +
+                   "': " + std::strerror(errno));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+  path_ = std::move(path);
+  max_bytes_ = max_bytes;
+  size_ = 0;
+  rotations_ = 0;
+  fd_ = fd;
+  active_ = true;
+}
+
+void EventLog::rotate_locked() {
+  ::close(fd_);
+  fd_ = -1;
+  const std::string old = path_ + ".1";
+  // rename(2) replaces an existing FILE.1 atomically; a failure (exotic
+  // filesystem) just means we truncate in place and lose the old tail.
+  if (std::rename(path_.c_str(), old.c_str()) != 0)
+    std::cerr << "topomapd: warning: event-log rotation rename failed: "
+              << std::strerror(errno) << "\n";
+  fd_ = open_trunc(path_);
+  size_ = 0;
+  ++rotations_;
+}
+
+void EventLog::append(std::string_view line) {
+  if (!active_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  if (size_ > 0 && size_ + line.size() + 1 > max_bytes_) rotate_locked();
+  if (fd_ < 0) {  // reopen after rotation failed
+    std::cerr << "topomapd: warning: event log disabled (reopen failed)\n";
+    active_ = false;
+    return;
+  }
+  const bool ok =
+      write_all(fd_, line.data(), line.size()) && write_all(fd_, "\n", 1);
+  if (!ok) {
+    std::cerr << "topomapd: warning: event log disabled (write failed: "
+              << std::strerror(errno) << ")\n";
+    ::close(fd_);
+    fd_ = -1;
+    active_ = false;
+    return;
+  }
+  size_ += line.size() + 1;
+}
+
+std::size_t EventLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace topomap::svc

@@ -1,0 +1,58 @@
+// svc::EventLog — optional per-request JSONL log with size-based rotation.
+//
+// topomapd --event-log=FILE appends one JSON object per completed request
+// (correlation id, request id, kind, outcome, and the per-stage timings in
+// microseconds).  Rotation policy: when appending a line would push the
+// file past max_bytes, the current file is renamed to FILE.1 (replacing
+// any previous FILE.1) and a fresh FILE is started — so disk usage is
+// bounded by ~2 * max_bytes and the tail of history survives a rotation.
+// A single line larger than max_bytes is still written (and rotates on the
+// next append) rather than being dropped.
+//
+// Writes are serialized under one mutex; the log is an operational
+// artifact on the response path's tail, not a hot-loop structure.  I/O
+// failures after open are reported once to stderr and the log disables
+// itself — a full disk must not poison already-computed responses.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace topomap::svc {
+
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Open (truncate) the log file.  Throws io_error when the path cannot
+  /// be opened.  Not thread-safe against concurrent append(); call before
+  /// serving.
+  void open(std::string path, std::size_t max_bytes);
+
+  bool active() const { return active_; }
+
+  /// Append one line (a terminating '\n' is added), rotating first when
+  /// the line would not fit.  No-op when inactive.
+  void append(std::string_view line);
+
+  /// Completed rotations since open() (for tests and status surfaces).
+  std::size_t rotations() const;
+
+ private:
+  void rotate_locked();
+
+  mutable std::mutex mu_;
+  bool active_ = false;
+  std::string path_;
+  std::size_t max_bytes_ = 0;
+  std::size_t size_ = 0;
+  std::size_t rotations_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace topomap::svc

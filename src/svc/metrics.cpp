@@ -1,0 +1,244 @@
+#include "svc/metrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace topomap::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw precondition_error("svc metrics: " + what);
+}
+
+const json::Value& member(const json::Value& obj, const std::string& key,
+                          const std::string& where) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) fail("missing field '" + where + key + "'");
+  return *v;
+}
+
+double number(const json::Value& v, const std::string& key) {
+  if (!v.is_number()) fail("field '" + key + "' must be a number");
+  return v.as_number();
+}
+
+std::int64_t non_negative_int(const json::Value& v, const std::string& key) {
+  const double d = number(v, key);
+  if (std::floor(d) != d || d < 0.0 || d > 9007199254740992.0)
+    fail("field '" + key + "' must be a non-negative integer");
+  return static_cast<std::int64_t>(d);
+}
+
+std::string string_field(const json::Value& v, const std::string& key) {
+  if (!v.is_string()) fail("field '" + key + "' must be a string");
+  return v.as_string();
+}
+
+/// Reject keys outside the allowed set — the snapshot schema is strict in
+/// both directions, like svc/protocol.hpp.
+void only_keys(const json::Value& obj, const std::set<std::string>& allowed,
+               const std::string& where) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    if (allowed.find(key) == allowed.end())
+      fail("unknown field '" + where + key + "'");
+  }
+}
+
+void check_schema(const json::Value& doc, const char* name, int version) {
+  if (!doc.is_object()) fail("document is not a JSON object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != name)
+    fail(std::string("expected schema '") + name + "'");
+  const json::Value* ver = doc.find("schema_version");
+  if (ver == nullptr || !ver->is_number() || ver->as_number() != version)
+    fail("unsupported schema_version (want " + std::to_string(version) +
+         ")");
+}
+
+void validate_counts_pair(const json::Value& v, const std::string& where) {
+  if (!v.is_object()) fail("'" + where + "' must be an object");
+  only_keys(v, {"served", "failed"}, where + ".");
+  non_negative_int(member(v, "served", where + "."), where + ".served");
+  non_negative_int(member(v, "failed", where + "."), where + ".failed");
+}
+
+void validate_histogram(const json::Value& v, const std::string& name) {
+  if (!v.is_object()) fail("histogram '" + name + "' must be an object");
+  const std::string where = "histograms." + name + ".";
+  only_keys(v,
+            {"count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+             "buckets"},
+            where);
+  const std::int64_t count =
+      non_negative_int(member(v, "count", where), where + "count");
+  for (const char* k : {"sum", "min", "max", "mean", "p50", "p90", "p99"})
+    number(member(v, k, where), where + k);
+  const json::Value& buckets = member(v, "buckets", where);
+  if (!buckets.is_array()) fail("'" + where + "buckets' must be an array");
+  std::int64_t total = 0;
+  double prev_lo = -1.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const json::Value& triple = buckets.items()[i];
+    const std::string at = where + "buckets[" + std::to_string(i) + "]";
+    if (!triple.is_array() || triple.size() != 3)
+      fail("'" + at + "' must be a [lo, hi, count] triple");
+    const double lo = number(triple.items()[0], at + ".lo");
+    const double hi = number(triple.items()[1], at + ".hi");
+    const std::int64_t c =
+        non_negative_int(triple.items()[2], at + ".count");
+    if (!(lo < hi)) fail("'" + at + "' has lo >= hi");
+    if (lo <= prev_lo) fail("'" + where + "buckets' must ascend by lo");
+    if (c == 0) fail("'" + at + "' lists an empty bucket");
+    prev_lo = lo;
+    total += c;
+  }
+  if (total != count)
+    fail("histogram '" + name + "': bucket counts sum to " +
+         std::to_string(total) + " but count is " + std::to_string(count));
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = "topomap_";
+  for (char c : name)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  return out;
+}
+
+std::string fmt(double x) { return json::format_number(x); }
+
+}  // namespace
+
+void validate_metrics_snapshot(const json::Value& doc) {
+  check_schema(doc, kMetricsSchemaName, kMetricsSchemaVersion);
+  only_keys(doc,
+            {"schema", "schema_version", "requests", "queue_depth", "pool",
+             "bucket_scheme", "histograms"},
+            "");
+
+  const json::Value& requests = member(doc, "requests", "");
+  if (!requests.is_object()) fail("'requests' must be an object");
+  only_keys(requests, {"served", "failed", "by_kind"}, "requests.");
+  non_negative_int(member(requests, "served", "requests."),
+                   "requests.served");
+  non_negative_int(member(requests, "failed", "requests."),
+                   "requests.failed");
+  const json::Value& by_kind = member(requests, "by_kind", "requests.");
+  if (!by_kind.is_object()) fail("'requests.by_kind' must be an object");
+  for (const auto& [kind, counts] : by_kind.members())
+    validate_counts_pair(counts, "requests.by_kind." + kind);
+
+  non_negative_int(member(doc, "queue_depth", ""), "queue_depth");
+
+  const json::Value& pool = member(doc, "pool", "");
+  if (!pool.is_object()) fail("'pool' must be an object");
+  only_keys(pool, {"hits", "misses", "evictions", "entries", "capacity"},
+            "pool.");
+  for (const char* k : {"hits", "misses", "evictions", "entries", "capacity"})
+    non_negative_int(member(pool, k, "pool."), std::string("pool.") + k);
+
+  const json::Value& scheme = member(doc, "bucket_scheme", "");
+  if (!scheme.is_object()) fail("'bucket_scheme' must be an object");
+  only_keys(scheme, {"kind", "sub_buckets", "buckets"}, "bucket_scheme.");
+  if (string_field(member(scheme, "kind", "bucket_scheme."),
+                   "bucket_scheme.kind") != "log2-linear")
+    fail("bucket_scheme.kind must be 'log2-linear'");
+  if (non_negative_int(member(scheme, "sub_buckets", "bucket_scheme."),
+                       "bucket_scheme.sub_buckets") <= 0)
+    fail("bucket_scheme.sub_buckets must be positive");
+  if (non_negative_int(member(scheme, "buckets", "bucket_scheme."),
+                       "bucket_scheme.buckets") <= 0)
+    fail("bucket_scheme.buckets must be positive");
+
+  const json::Value& hists = member(doc, "histograms", "");
+  if (!hists.is_object()) fail("'histograms' must be an object");
+  for (const auto& [name, h] : hists.members()) validate_histogram(h, name);
+}
+
+void validate_flight_snapshot(const json::Value& doc) {
+  check_schema(doc, kFlightSchemaName, kFlightSchemaVersion);
+  only_keys(doc, {"schema", "schema_version", "capacity", "recorded",
+                  "events"},
+            "");
+  if (non_negative_int(member(doc, "capacity", ""), "capacity") <= 0)
+    fail("'capacity' must be positive");
+  non_negative_int(member(doc, "recorded", ""), "recorded");
+  const json::Value& events = member(doc, "events", "");
+  if (!events.is_array()) fail("'events' must be an array");
+  std::int64_t prev_seq = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& ev = events.items()[i];
+    const std::string at = "events[" + std::to_string(i) + "].";
+    if (!ev.is_object()) fail("'" + at + "' must be an object");
+    only_keys(ev, {"seq", "t_ns", "dur_ns", "corr", "kind", "stage"}, at);
+    const std::int64_t seq =
+        non_negative_int(member(ev, "seq", at), at + "seq");
+    if (seq <= prev_seq) fail("'events' must ascend by seq");
+    prev_seq = seq;
+    non_negative_int(member(ev, "t_ns", at), at + "t_ns");
+    non_negative_int(member(ev, "dur_ns", at), at + "dur_ns");
+    if (string_field(member(ev, "corr", at), at + "corr").empty())
+      fail("'" + at + "corr' must be non-empty");
+    string_field(member(ev, "kind", at), at + "kind");
+    if (string_field(member(ev, "stage", at), at + "stage").empty())
+      fail("'" + at + "stage' must be non-empty");
+  }
+}
+
+std::string metrics_to_prometheus(const json::Value& doc) {
+  validate_metrics_snapshot(doc);
+  std::ostringstream os;
+  const json::Value& requests = *doc.find("requests");
+  os << "# TYPE topomap_requests_served_total counter\n"
+     << "topomap_requests_served_total "
+     << fmt(requests.at("served").as_number()) << "\n"
+     << "# TYPE topomap_requests_failed_total counter\n"
+     << "topomap_requests_failed_total "
+     << fmt(requests.at("failed").as_number()) << "\n";
+  os << "# TYPE topomap_requests_by_kind_total counter\n";
+  for (const auto& [kind, counts] : requests.at("by_kind").members()) {
+    os << "topomap_requests_by_kind_total{kind=\"" << kind
+       << "\",outcome=\"served\"} " << fmt(counts.at("served").as_number())
+       << "\n"
+       << "topomap_requests_by_kind_total{kind=\"" << kind
+       << "\",outcome=\"failed\"} " << fmt(counts.at("failed").as_number())
+       << "\n";
+  }
+  os << "# TYPE topomap_queue_depth gauge\n"
+     << "topomap_queue_depth " << fmt(doc.at("queue_depth").as_number())
+     << "\n";
+  const json::Value& pool = *doc.find("pool");
+  os << "# TYPE topomap_pool_events_total counter\n";
+  for (const char* k : {"hits", "misses", "evictions"})
+    os << "topomap_pool_events_total{event=\"" << k << "\"} "
+       << fmt(pool.at(k).as_number()) << "\n";
+  os << "# TYPE topomap_pool_entries gauge\n"
+     << "topomap_pool_entries " << fmt(pool.at("entries").as_number())
+     << "\n"
+     << "# TYPE topomap_pool_capacity gauge\n"
+     << "topomap_pool_capacity " << fmt(pool.at("capacity").as_number())
+     << "\n";
+  for (const auto& [name, h] : doc.at("histograms").members()) {
+    const std::string metric = sanitize_metric_name(name);
+    os << "# TYPE " << metric << " histogram\n";
+    std::int64_t cum = 0;
+    for (const json::Value& triple : h.at("buckets").items()) {
+      cum += static_cast<std::int64_t>(triple.items()[2].as_number());
+      os << metric << "_bucket{le=\"" << fmt(triple.items()[1].as_number())
+         << "\"} " << cum << "\n";
+    }
+    os << metric << "_bucket{le=\"+Inf\"} "
+       << fmt(h.at("count").as_number()) << "\n"
+       << metric << "_sum " << fmt(h.at("sum").as_number()) << "\n"
+       << metric << "_count " << fmt(h.at("count").as_number()) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace topomap::svc

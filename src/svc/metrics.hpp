@@ -1,0 +1,60 @@
+// The topomap.svc.metrics snapshot schema: strict validation and the
+// Prometheus text exposition.
+//
+// A `metrics` request returns one snapshot document as the response
+// result:
+//
+//   {
+//     "schema": "topomap.svc.metrics", "schema_version": 1,
+//     "requests": {"served": N, "failed": M,
+//                  "by_kind": {"map": {"served":..,"failed":..}, ...}},
+//     "queue_depth": D,
+//     "pool": {"hits","misses","evictions","entries","capacity"},
+//     "bucket_scheme": {"kind":"log2-linear","sub_buckets":8,
+//                       "buckets":513},
+//     "histograms": {"svc/map/kernel_us": {count,sum,min,max,mean,
+//                     p50,p90,p99, buckets:[[lo,hi,count],...]}, ...}
+//   }
+//
+// Determinism split: requests/by_kind counts, the pool counters, and the
+// bucket_scheme are *deterministic* for a given serial request sequence
+// (CI byte-compares them across runs); histogram contents and queue_depth
+// are timing-derived and informational.  The bucket *boundaries* inside
+// each histogram are deterministic by construction (obs/histogram.hpp) —
+// which bucket a latency lands in is not.
+//
+// validate_* are strict in the svc/protocol.hpp tradition: wrong schema,
+// missing fields, unknown keys, and mistyped values throw
+// topomap::precondition_error naming the field.  `topomap client
+// --kind=metrics --prom` validates before exposing, so a daemon/client
+// schema skew fails loudly instead of exporting garbage.
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace topomap::svc {
+
+namespace json = ::topomap::support::json;
+
+inline constexpr const char* kMetricsSchemaName = "topomap.svc.metrics";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+inline constexpr const char* kFlightSchemaName = "topomap.svc.flight";
+inline constexpr int kFlightSchemaVersion = 1;
+
+/// Strict validation of one metrics snapshot document; throws
+/// precondition_error naming the offending field.
+void validate_metrics_snapshot(const json::Value& doc);
+
+/// Strict validation of one flight-recorder document.
+void validate_flight_snapshot(const json::Value& doc);
+
+/// Prometheus text-format exposition of a snapshot (validated first).
+/// Counter/gauge names are prefixed topomap_; histogram names are
+/// sanitized ("svc/map/kernel_us" -> topomap_svc_map_kernel_us) and
+/// exposed with cumulative le-buckets plus _sum/_count.
+std::string metrics_to_prometheus(const json::Value& doc);
+
+}  // namespace topomap::svc

@@ -15,6 +15,8 @@ const char* to_string(RequestKind kind) {
     case RequestKind::kEvacuate: return "evacuate";
     case RequestKind::kOptimal: return "optimal";
     case RequestKind::kStatus: return "status";
+    case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kFlight: return "flight";
   }
   TOPOMAP_UNREACHABLE("unhandled RequestKind");
 }
@@ -25,9 +27,12 @@ RequestKind parse_request_kind(const std::string& s) {
   if (s == "evacuate") return RequestKind::kEvacuate;
   if (s == "optimal") return RequestKind::kOptimal;
   if (s == "status") return RequestKind::kStatus;
+  if (s == "metrics") return RequestKind::kMetrics;
+  if (s == "flight") return RequestKind::kFlight;
   throw precondition_error(
       "svc request: unknown kind '" + s +
-      "' (want map | explain | evacuate | optimal | status)");
+      "' (want map | explain | evacuate | optimal | status | metrics | "
+      "flight)");
 }
 
 topo::FaultSpec Request::fault_spec() const {

@@ -2,8 +2,8 @@
 // ("topomap.svc.request" / "topomap.svc.response", version 1) carried one
 // per frame (svc/frame.hpp).
 //
-// A request names a kind — map, explain, evacuate, optimal, status — plus
-// the same parameter family the topomap CLI takes: workload/topology/
+// A request names a kind — map, explain, evacuate, optimal, status,
+// metrics, flight — plus the same parameter family the topomap CLI takes: workload/topology/
 // strategy specs, a seed, and the fault flag family (verbatim
 // topo::parse_fault_spec inputs, so the client reuses the CLI parser and
 // the server revalidates).  Parsing is strict in both directions: wrong
@@ -43,12 +43,23 @@ class usage_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-enum class RequestKind { kMap, kExplain, kEvacuate, kOptimal, kStatus };
+enum class RequestKind {
+  kMap,
+  kExplain,
+  kEvacuate,
+  kOptimal,
+  kStatus,
+  kMetrics,  ///< telemetry snapshot (topomap.svc.metrics v1)
+  kFlight,   ///< recent lifecycle events (topomap.svc.flight v1)
+};
+
+/// Number of request kinds (for per-kind counter arrays).
+inline constexpr int kNumRequestKinds = 7;
 
 const char* to_string(RequestKind kind);
 
-/// Parses "map" | "explain" | "evacuate" | "optimal" | "status"; throws
-/// precondition_error on anything else.
+/// Parses "map" | "explain" | "evacuate" | "optimal" | "status" |
+/// "metrics" | "flight"; throws precondition_error on anything else.
 RequestKind parse_request_kind(const std::string& s);
 
 /// One protocol request.  Defaults match the CLI's, so a request carrying

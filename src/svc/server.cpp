@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "svc/protocol.hpp"
 
@@ -117,6 +118,7 @@ struct Server::Impl {
   struct Job {
     ConnectionPtr conn;
     Request req;
+    RequestContext ctx;    // correlation id + queue-wait timestamps
     std::string affinity;  // machine key; "" when it could not be computed
   };
   std::mutex queue_mu;
@@ -128,8 +130,7 @@ struct Server::Impl {
   explicit Impl(ServerOptions opts)
       : options(std::move(opts)), service(options.service) {}
 
-  void send_response(const ConnectionPtr& conn, const Response& resp) {
-    const std::string payload = resp.to_json().dump();
+  void send_payload(const ConnectionPtr& conn, const std::string& payload) {
     std::lock_guard<std::mutex> lock(conn->write_mu);
     try {
       write_frame(conn->fd, payload, options.max_payload);
@@ -138,7 +139,11 @@ struct Server::Impl {
     }
   }
 
-  void enqueue(ConnectionPtr conn, Request req) {
+  void send_response(const ConnectionPtr& conn, const Response& resp) {
+    send_payload(conn, resp.to_json().dump());
+  }
+
+  void enqueue(ConnectionPtr conn, Request req, RequestContext ctx) {
     std::string affinity;
     try {
       affinity = machine_key(req.topology, req.fault_spec());
@@ -152,7 +157,12 @@ struct Server::Impl {
       return queue.size() < options.queue_capacity || draining;
     });
     if (draining) return;  // shutdown raced the read; connection is closing
-    queue.push_back(Job{std::move(conn), std::move(req), std::move(affinity)});
+    ctx.enqueue_ns = obs::now_ns();
+    service.flight().record(ctx.corr, to_string(req.kind), "enqueue",
+                            ctx.enqueue_ns, 0);
+    queue.push_back(Job{std::move(conn), std::move(req), std::move(ctx),
+                        std::move(affinity)});
+    OBS_VALUE("svc/queue_depth", static_cast<double>(queue.size()));
     queue_pop.notify_one();
   }
 
@@ -203,7 +213,13 @@ struct Server::Impl {
                       make_error_response(id, std::current_exception()));
         continue;
       }
-      enqueue(conn, std::move(req));
+      // A request exists the moment it parses: mint its correlation id
+      // here so the accept→done lifecycle is attributable end to end.
+      RequestContext ctx;
+      ctx.corr = service.mint_correlation_id();
+      service.flight().record(ctx.corr, to_string(req.kind), "accept",
+                              obs::now_ns(), 0);
+      enqueue(conn, std::move(req), std::move(ctx));
     }
     std::lock_guard<std::mutex> lock(conn_mu);
     --active_readers;
@@ -234,7 +250,20 @@ struct Server::Impl {
         queue_push.notify_one();
       }
       last_key = job.affinity;
-      send_response(job.conn, service.handle(job.req));
+      job.ctx.dequeue_ns = obs::now_ns();
+      const Response resp = service.handle(job.req, job.ctx);
+      // Serialize is its own lifecycle stage: the response is rendered
+      // here, outside the connection write lock, so its cost is separable
+      // from both the kernel and the socket write.
+      const std::uint64_t t0 = obs::now_ns();
+      const std::string payload = resp.to_json().dump();
+      const std::uint64_t dur = obs::now_ns() - t0;
+      service.flight().record(job.ctx.corr, to_string(job.req.kind),
+                              "serialize", t0, dur);
+      OBS_HISTOGRAM(std::string("svc/") + to_string(job.req.kind) +
+                        "/serialize_us",
+                    static_cast<double>(dur / 1000));
+      send_payload(job.conn, payload);
     }
   }
 
@@ -249,7 +278,21 @@ struct Server::Impl {
         if (errno == EINTR) continue;
         break;
       }
-      if (fds[0].revents != 0) break;  // stop() wrote the wake byte
+      if (fds[0].revents != 0) {
+        // The self-pipe carries one byte per wake: 'x' = stop() (shutdown),
+        // 'u' = request_flight_dump() (SIGUSR1).  Drain whatever is
+        // pending; a read failure means the pipe is gone, so shut down.
+        char bytes[16];
+        const ssize_t nread = ::read(wake_rd, bytes, sizeof(bytes));
+        bool stop_requested = nread <= 0;
+        bool dump_requested = false;
+        for (ssize_t i = 0; i < nread; ++i) {
+          if (bytes[i] == 'u') dump_requested = true;
+          else stop_requested = true;
+        }
+        if (dump_requested) service.flight().dump_text(std::cerr);
+        if (stop_requested) break;
+      }
       for (nfds_t i = 1; i < n; ++i) {
         if (fds[i].revents == 0) continue;
         const int client = ::accept(fds[i].fd, nullptr, nullptr);
@@ -310,6 +353,10 @@ void Server::start() {
                    std::strerror(errno));
   impl_->wake_rd = pipefd[0];
   impl_->wake_wr = pipefd[1];
+  impl_->service.set_queue_depth_probe([impl = impl_.get()] {
+    std::lock_guard<std::mutex> lock(impl->queue_mu);
+    return impl->queue.size();
+  });
   impl_->unix_fd = listen_unix(impl_->options.socket_path);
   if (impl_->options.tcp_port > 0)
     impl_->tcp_fd = listen_tcp(impl_->options.tcp_port);
@@ -329,6 +376,14 @@ void Server::stop() {
   }
 }
 
+void Server::request_flight_dump() {
+  // Async-signal-safe, like stop(): one self-pipe write.
+  if (impl_->wake_wr >= 0) {
+    const char byte = 'u';
+    [[maybe_unused]] const ssize_t r = ::write(impl_->wake_wr, &byte, 1);
+  }
+}
+
 void Server::join() {
   if (!impl_->started || impl_->joined) return;
   impl_->accept_thread.join();
@@ -338,5 +393,7 @@ void Server::join() {
 CachePoolStats Server::cache_stats() const {
   return impl_->service.cache_stats();
 }
+
+Service& Server::service() { return impl_->service; }
 
 }  // namespace topomap::svc

@@ -18,6 +18,13 @@
 //   * Responses carry the request id and may complete out of order across
 //     a pipelined connection; per-connection writes are serialized.
 //
+// Request lifecycle telemetry: the server mints a correlation id the
+// moment a request parses off the wire and threads it — with enqueue/
+// dequeue timestamps — through the queue to Service::handle, so the
+// queue-wait stage is attributed exactly.  Serialization is timed here
+// too (the response is rendered by the worker, outside the connection
+// write lock).  See svc/service.hpp for the full stage breakdown.
+//
 // Shutdown: stop() is async-signal-safe (one write to a self-pipe).  The
 // sequence drains cleanly — stop accepting, EOF every connection, finish
 // every queued request, join the workers — so a SIGTERM'd daemon exits 0
@@ -63,6 +70,11 @@ class Server {
   /// SIGINT handler.
   void stop();
 
+  /// Ask the accept loop to dump the flight-recorder ring to stderr.
+  /// Async-signal-safe (one self-pipe write) — topomapd calls this from
+  /// its SIGUSR1 handler.
+  void request_flight_dump();
+
   /// Wait for the clean-shutdown drain to finish (accept loop, readers,
   /// workers all joined).  Call after stop(); also harmless after a start()
   /// that already stopped.
@@ -71,6 +83,10 @@ class Server {
   /// Pool statistics passthrough (the load bench reads hit rates here when
   /// running the server in-process).
   CachePoolStats cache_stats() const;
+
+  /// The request executor (telemetry state: flight recorder, metrics
+  /// snapshot, event-log rotations).  Valid for the server's lifetime.
+  Service& service();
 
  private:
   struct Impl;

@@ -21,6 +21,7 @@
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "svc/metrics.hpp"
 #include "topo/components.hpp"
 
 namespace topomap::svc {
@@ -81,42 +82,129 @@ std::string mapping_bytes(const core::Mapping& m,
 }  // namespace
 
 Service::Service(ServiceOptions options)
-    : options_(std::move(options)), pool_(options_.cache_capacity) {}
+    : options_(std::move(options)),
+      pool_(options_.cache_capacity),
+      flight_(options_.flight_capacity) {
+  if (!options_.event_log_path.empty())
+    event_log_.open(options_.event_log_path, options_.event_log_max_bytes);
+}
+
+std::string Service::mint_correlation_id() {
+  return "r-" + std::to_string(
+                    next_corr_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void Service::set_queue_depth_probe(std::function<std::size_t()> probe) {
+  queue_depth_probe_ = std::move(probe);
+}
 
 Response Service::handle(const Request& req) {
+  return handle(req, RequestContext{});
+}
+
+Response Service::handle(const Request& req, const RequestContext& ctx) {
   // Mapping kernels run their parallel regions inline on this serving
   // thread: request-level concurrency is the only concurrency, and the
   // thread-count-invariance contract keeps results byte-identical.
   support::InlineScope inline_scope;
   OBS_SPAN("svc/request");
+  Lifecycle lc;
+  lc.kind = to_string(req.kind);
+  lc.corr = ctx.corr.empty() ? mint_correlation_id() : ctx.corr;
+  if (ctx.enqueue_ns != 0 && ctx.dequeue_ns >= ctx.enqueue_ns)
+    lc.queue_wait_ns = ctx.dequeue_ns - ctx.enqueue_ns;
+  const std::uint64_t t_start = obs::now_ns();
+  const int kind_index = static_cast<int>(req.kind);
   Response resp;
   resp.id = req.id;
   try {
-    switch (req.kind) {
-      case RequestKind::kMap: resp.result = run_map(req); break;
-      case RequestKind::kExplain: resp.result = run_explain(req); break;
-      case RequestKind::kEvacuate: resp.result = run_evacuate(req); break;
-      case RequestKind::kOptimal: resp.result = run_optimal(req); break;
-      case RequestKind::kStatus: resp.result = run_status(); break;
-    }
+    resp.result = dispatch(req, lc);
   } catch (...) {
     ++failed_;
+    ++failed_by_kind_[kind_index];
     OBS_COUNTER_ADD("svc/requests_failed", 1);
+    finish_request(req, lc, false, t_start, obs::now_ns() - t_start);
     write_report(req, false);
     return make_error_response(req.id, std::current_exception());
   }
   resp.ok = true;
   ++served_;
+  ++served_by_kind_[kind_index];
   OBS_COUNTER_ADD("svc/requests_served", 1);
+  finish_request(req, lc, true, t_start, obs::now_ns() - t_start);
   write_report(req, true);
   return resp;
 }
 
-json::Value Service::run_map(const Request& req) {
+json::Value Service::dispatch(const Request& req, Lifecycle& lc) {
+  switch (req.kind) {
+    case RequestKind::kMap: return run_map(req, lc);
+    case RequestKind::kExplain: return run_explain(req, lc);
+    case RequestKind::kEvacuate: return run_evacuate(req, lc);
+    case RequestKind::kOptimal: return run_optimal(req, lc);
+    case RequestKind::kStatus: return run_status();
+    case RequestKind::kMetrics: return metrics_snapshot();
+    case RequestKind::kFlight: return run_flight();
+  }
+  TOPOMAP_UNREACHABLE("unhandled RequestKind");
+}
+
+MachineEntryPtr Service::acquire_timed(const std::string& topology,
+                                       const topo::FaultSpec& faults,
+                                       Lifecycle& lc) {
+  const std::uint64_t t0 = obs::now_ns();
+  MachineEntryPtr entry = pool_.acquire(topology, faults);
+  const std::uint64_t dur = obs::now_ns() - t0;
+  lc.acquire_ns += dur;
+  flight_.record(lc.corr, lc.kind, "acquire", t0, dur);
+  return entry;
+}
+
+void Service::finish_request(const Request& req, const Lifecycle& lc,
+                             bool ok, std::uint64_t t_start_ns,
+                             std::uint64_t total_ns) {
+  flight_.record(lc.corr, lc.kind, ok ? "done" : "error", t_start_ns,
+                 total_ns);
+  // The kernel stage is the handler time not spent acquiring pooled
+  // machine state (serialize happens on the server after handle returns).
+  const std::uint64_t kernel_ns =
+      total_ns >= lc.acquire_ns ? total_ns - lc.acquire_ns : 0;
+  OBS_ONLY({
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::instance();
+      const std::string prefix = std::string("svc/") + lc.kind + "/";
+      if (lc.queue_wait_ns > 0)
+        reg.observe(prefix + "queue_wait_us",
+                    static_cast<double>(lc.queue_wait_ns / 1000));
+      reg.observe(prefix + "acquire_us",
+                  static_cast<double>(lc.acquire_ns / 1000));
+      reg.observe(prefix + "kernel_us",
+                  static_cast<double>(kernel_ns / 1000));
+      reg.observe(prefix + "total_us",
+                  static_cast<double>(total_ns / 1000));
+    }
+  });
+  if (event_log_.active()) {
+    json::Value line = json::Value::object();
+    line.set("corr", lc.corr);
+    line.set("id", req.id);
+    line.set("kind", lc.kind);
+    line.set("ok", ok);
+    line.set("t_start_ns", t_start_ns);
+    line.set("queue_wait_us", lc.queue_wait_ns / 1000);
+    line.set("acquire_us", lc.acquire_ns / 1000);
+    line.set("kernel_us", kernel_ns / 1000);
+    line.set("total_us", total_ns / 1000);
+    event_log_.append(line.dump());
+  }
+}
+
+json::Value Service::run_map(const Request& req, Lifecycle& lc) {
   // Same Rng stream as `topomap map`: graph generation, then mapping.
   Rng rng(req.seed);
   const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
-  const MachineEntryPtr entry = pool_.acquire(req.topology, req.fault_spec());
+  const MachineEntryPtr entry =
+      acquire_timed(req.topology, req.fault_spec(), lc);
   const topo::Topology& machine = entry->machine();
   const core::StrategyPtr strategy = make_pooled_strategy(req.strategy, *entry);
 
@@ -189,10 +277,11 @@ json::Value Service::run_map(const Request& req) {
   return result;
 }
 
-json::Value Service::run_explain(const Request& req) {
+json::Value Service::run_explain(const Request& req, Lifecycle& lc) {
   Rng rng(req.seed);
   const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
-  const MachineEntryPtr entry = pool_.acquire(req.topology, req.fault_spec());
+  const MachineEntryPtr entry =
+      acquire_timed(req.topology, req.fault_spec(), lc);
   const topo::Topology& machine = entry->machine();
   const core::StrategyPtr strategy = make_pooled_strategy(req.strategy, *entry);
 
@@ -266,7 +355,7 @@ json::Value Service::run_explain(const Request& req) {
   return result;
 }
 
-json::Value Service::run_evacuate(const Request& req) {
+json::Value Service::run_evacuate(const Request& req, Lifecycle& lc) {
   const topo::FaultSpec faults = req.fault_spec();
   if (faults.empty())
     throw usage_error(
@@ -274,7 +363,7 @@ json::Value Service::run_evacuate(const Request& req) {
         "degrade_link/random_*)");
   Rng rng(req.seed);
   const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
-  const MachineEntryPtr entry = pool_.acquire(req.topology, faults);
+  const MachineEntryPtr entry = acquire_timed(req.topology, faults, lc);
   const core::StrategyPtr strategy = make_pooled_strategy(req.strategy, *entry);
 
   // Map on the healthy machine first: the faults strike a running job.
@@ -312,10 +401,11 @@ json::Value Service::run_evacuate(const Request& req) {
   return result;
 }
 
-json::Value Service::run_optimal(const Request& req) {
+json::Value Service::run_optimal(const Request& req, Lifecycle& lc) {
   Rng rng(req.seed);
   const graph::TaskGraph g = graph::make_task_graph(req.tasks, rng);
-  const MachineEntryPtr entry = pool_.acquire(req.topology, req.fault_spec());
+  const MachineEntryPtr entry =
+      acquire_timed(req.topology, req.fault_spec(), lc);
   const topo::Topology& machine = entry->machine();
 
   core::OptimalOptions opts;
@@ -369,6 +459,58 @@ json::Value Service::run_status() const {
   cache.set("capacity", cs.capacity);
   result.set("cache", std::move(cache));
   return result;
+}
+
+json::Value Service::run_flight() const {
+  return flight_.to_json();
+}
+
+json::Value Service::metrics_snapshot() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", kMetricsSchemaName);
+  doc.set("schema_version", kMetricsSchemaVersion);
+
+  json::Value requests = json::Value::object();
+  requests.set("served", served_.load());
+  requests.set("failed", failed_.load());
+  // Every kind is always present so the deterministic key set never
+  // depends on which kinds happened to be exercised.
+  json::Value by_kind = json::Value::object();
+  for (int i = 0; i < kNumRequestKinds; ++i) {
+    json::Value counts = json::Value::object();
+    counts.set("served", served_by_kind_[i].load());
+    counts.set("failed", failed_by_kind_[i].load());
+    by_kind.set(to_string(static_cast<RequestKind>(i)), std::move(counts));
+  }
+  requests.set("by_kind", std::move(by_kind));
+  doc.set("requests", std::move(requests));
+
+  doc.set("queue_depth",
+          queue_depth_probe_ ? queue_depth_probe_() : std::size_t{0});
+
+  const CachePoolStats cs = pool_.stats();
+  json::Value pool = json::Value::object();
+  pool.set("hits", cs.hits);
+  pool.set("misses", cs.misses);
+  pool.set("evictions", cs.evictions);
+  pool.set("entries", cs.entries);
+  pool.set("capacity", cs.capacity);
+  doc.set("pool", std::move(pool));
+
+  // The bucket layout is a compile-time property of obs::Histogram — a
+  // fixed descriptor, not per-run boundary lists, so this section is
+  // byte-identical across runs by construction.
+  json::Value scheme = json::Value::object();
+  scheme.set("kind", "log2-linear");
+  scheme.set("sub_buckets", obs::Histogram::kSubBuckets);
+  scheme.set("buckets", obs::Histogram::kBucketCount);
+  doc.set("bucket_scheme", std::move(scheme));
+
+  json::Value hists = json::Value::object();
+  for (const auto& [name, h] : obs::Registry::instance().histograms())
+    hists.set(name, obs::histogram_to_json(h));
+  doc.set("histograms", std::move(hists));
+  return doc;
 }
 
 void Service::write_report(const Request& req, bool ok) const {

@@ -4,6 +4,7 @@
 // enabling telemetry never changes a mapping result.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -15,6 +16,7 @@
 #include "core/topo_lb.hpp"
 #include "graph/builders.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/registry.hpp"
@@ -144,6 +146,91 @@ TEST_F(ObsTest, RegistryMergeIsDeterministicAcrossThreadCounts) {
   }
 }
 
+// --- Histogram ------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreFixedAndCoverTheLine) {
+  // Bucket 0 absorbs sub-1.0 values and NaN; above it the layout is
+  // log2-linear with kSubBuckets per octave.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(0.999), 0);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1);
+  // Every bucket boundary lands in its own bucket, boundaries ascend, and
+  // [lo, hi) tiles the line with no gaps.
+  for (int i = 1; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(i)), i) << i;
+    EXPECT_LT(Histogram::bucket_lo(i), Histogram::bucket_hi(i)) << i;
+    EXPECT_EQ(Histogram::bucket_hi(i - 1), Histogram::bucket_lo(i)) << i;
+  }
+  // Values beyond the top octave clamp into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+}
+
+TEST_F(ObsTest, HistogramIsInsertOrderFreeAndMergesExactly) {
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i)
+    samples.push_back(static_cast<double>((i * 37) % 1000));
+  Histogram forward, backward, merged_a, merged_b;
+  for (double v : samples) forward.add(v);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+    backward.add(*it);
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 2 == 0 ? merged_a : merged_b).add(samples[i]);
+  merged_a.merge(merged_b);
+  EXPECT_TRUE(forward == backward);
+  EXPECT_TRUE(forward == merged_a);
+  EXPECT_EQ(forward.count(), 500u);
+  // Integral samples keep the sum exact, so even sum() compares equal.
+  EXPECT_EQ(forward.sum(), merged_a.sum());
+}
+
+TEST_F(ObsTest, HistogramQuantilesAreDeterministicAndBracketed) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty reports 0
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 1000.0);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  // Log-bucketed estimates: within one bucket's relative resolution.
+  EXPECT_NEAR(p50, 500.0, 500.0 / Histogram::kSubBuckets);
+  EXPECT_NEAR(p99, 990.0, 990.0 / Histogram::kSubBuckets);
+  EXPECT_LE(p50, p99);
+  // Same multiset -> identical estimate, regardless of insert order.
+  Histogram r;
+  for (int i = 1000; i >= 1; --i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.quantile(0.5), p50);
+  EXPECT_EQ(r.quantile(0.99), p99);
+}
+
+// Sharded histograms must merge to the same snapshot no matter how many
+// worker threads recorded the samples — the counter contract, extended.
+TEST_F(ObsTest, RegistryHistogramMergeIsDeterministicAcrossThreadCounts) {
+  constexpr int kN = 10'000;
+  auto run = [&] {
+    Registry::instance().reset();
+    support::parallel_for(kN, /*grain=*/64, [](int begin, int end) {
+      for (int i = begin; i < end; ++i)
+        Registry::instance().observe("merge/hist",
+                                     static_cast<double>(i % 97));
+    });
+    return Registry::instance().histograms();
+  };
+
+  support::set_num_threads(1);
+  const auto base = run();
+  ASSERT_EQ(base.count("merge/hist"), 1u);
+  EXPECT_EQ(base.at("merge/hist").count(), static_cast<std::uint64_t>(kN));
+  for (int threads : {2, 8}) {
+    support::set_num_threads(threads);
+    const auto got = run();
+    ASSERT_EQ(got.count("merge/hist"), 1u) << threads << " threads";
+    EXPECT_TRUE(got.at("merge/hist") == base.at("merge/hist"))
+        << threads << " threads";
+  }
+}
+
 // --- Tracer ---------------------------------------------------------------
 
 TEST_F(ObsTest, TracerRecordsNestedSpansInOrder) {
@@ -177,6 +264,26 @@ TEST_F(ObsTest, TracerRecordsNestedSpansInOrder) {
 TEST_F(ObsTest, TracerRecordsNothingWhileDisabled) {
   { ScopedSpan span("ghost"); }
   EXPECT_TRUE(Tracer::instance().spans().empty());
+}
+
+// Regression: a span opened while enabled but closing after
+// set_enabled(false) must be dropped, not recorded — "disabled records
+// nothing" holds at the record point, not the open point.  The depth
+// counter still balances so later spans nest correctly.
+TEST_F(ObsTest, SpanOutlivingDisableIsDroppedAndDepthStaysBalanced) {
+  set_enabled(true);
+  {
+    ScopedSpan span("outliver");
+    set_enabled(false);
+  }
+  EXPECT_TRUE(Tracer::instance().spans().empty());
+
+  set_enabled(true);
+  { ScopedSpan span("after"); }
+  const auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "after");
+  EXPECT_EQ(spans[0].depth, 0);  // the dropped span's depth slot was freed
 }
 
 TEST_F(ObsTest, ChromeTraceExportIsParseableCompleteEvents) {
@@ -231,6 +338,29 @@ TEST_F(ObsTest, ReportCarriesSchemaAndCapturedState) {
   report.write(os);
   EXPECT_EQ(Value::parse(os.str()).at("schema").as_string(),
             Report::kSchemaName);
+}
+
+TEST_F(ObsTest, ReportCapturesHistogramsWithNonEmptyBucketsOnly) {
+  Registry& reg = Registry::instance();
+  for (int i = 0; i < 10; ++i) reg.observe("report/hist", 4.0);
+  reg.observe("report/hist", 100.0);
+  Report report;
+  report.capture();
+  const Value doc = report.to_json();
+  const Value& h = doc.at("histograms").at("report/hist");
+  EXPECT_EQ(h.at("count").as_number(), 11.0);
+  EXPECT_EQ(h.at("min").as_number(), 4.0);
+  EXPECT_EQ(h.at("max").as_number(), 100.0);
+  // Two distinct values -> exactly two populated [lo, hi, count] triples.
+  ASSERT_EQ(h.at("buckets").items().size(), 2u);
+  double total = 0.0;
+  for (const Value& triple : h.at("buckets").items()) {
+    ASSERT_EQ(triple.items().size(), 3u);
+    EXPECT_LT(triple.items()[0].as_number(), triple.items()[1].as_number());
+    total += triple.items()[2].as_number();
+  }
+  EXPECT_EQ(total, 11.0);
+  EXPECT_LE(h.at("p50").as_number(), h.at("p99").as_number());
 }
 
 TEST_F(ObsTest, ReportExplicitSeriesShadowsCapturedSeries) {

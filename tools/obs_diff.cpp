@@ -3,18 +3,23 @@
 //   obs_diff A.json B.json [--all] [--tolerance=R]
 //
 // Prints per-counter deltas (B - A), span-rollup total/mean shifts, and
-// meta/series/table differences, so two runs (before/after an
+// meta/series/table/histogram differences, so two runs (before/after an
 // optimisation, two strategies, two thread counts) can be compared without
 // spreadsheet work.  Series compare element-wise (the first diverging
 // point is named — a length+final-value check would miss interior
-// changes); tables compare by column set and row count.  By default only
-// changed entries print; --all prints every common entry too.
-// --tolerance=R (default 0) treats relative span-time changes within R as
-// unchanged — wall-clock jitter, not signal.
+// changes); tables compare by column set and row count.  Histograms
+// compare per bucket: a bucket-array length mismatch is a structural
+// difference and fails, as does any per-bucket count delta — except for
+// timing-derived histograms (names suffixed _us/_ns/_ms/_wall), whose
+// deltas print for inspection but never affect the exit status, exactly
+// like span timings.  By default only changed entries print; --all prints
+// every common entry too.  --tolerance=R (default 0) treats relative
+// span-time changes within R as unchanged — wall-clock jitter, not signal.
 //
 // Exit status: 0 when the reports match (no differences outside tolerance;
-// span timings never affect the status), 1 when counters/meta/series/
-// tables differ, 2 on usage or parse errors.
+// span timings and timing-derived histograms never affect the status),
+// 1 when counters/meta/series/tables/histograms differ, 2 on usage or
+// parse errors.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -60,6 +65,54 @@ std::map<std::string, Value> section(const Value& doc, const char* name) {
 }
 
 std::string fmt(double x) { return topomap::obs::json::format_number(x); }
+
+/// Timing-derived histograms (duration buckets) carry wall-clock payloads:
+/// their deltas are inspection output, never exit status — the same rule
+/// span rollups follow.
+bool is_timing_histogram(const std::string& name) {
+  for (const char* suffix : {"_us", "_ns", "_ms", "_wall"}) {
+    const std::size_t n = std::string(suffix).size();
+    if (name.size() >= n && name.compare(name.size() - n, n, suffix) == 0)
+      return true;
+  }
+  return false;
+}
+
+/// Compare two histogram documents bucket by bucket; returns the number of
+/// *status-affecting* differences (0 for timing-derived names).  Prints a
+/// line per changed bucket either way.
+int diff_histogram(const std::string& name, const Value& va, const Value& vb,
+                   bool show_all) {
+  const bool neutral = is_timing_histogram(name);
+  const auto& ba = va.at("buckets").items();
+  const auto& bb = vb.at("buckets").items();
+  int changes = 0;
+  if (ba.size() != bb.size()) {
+    // Structural mismatch: different populated-bucket sets.
+    std::cout << "hist    " << name << ": " << ba.size() << " -> "
+              << bb.size() << " populated buckets\n";
+    ++changes;
+  }
+  // Merge both bucket lists by lower bound so a bucket present on one side
+  // only still prints.
+  std::map<double, std::pair<double, double>> by_lo;
+  for (const Value& t : ba)
+    by_lo[t.items()[0].as_number()].first = t.items()[2].as_number();
+  for (const Value& t : bb)
+    by_lo[t.items()[0].as_number()].second = t.items()[2].as_number();
+  for (const auto& [lo, counts] : by_lo) {
+    const double delta = counts.second - counts.first;
+    if (delta != 0.0) ++changes;
+    if (delta == 0.0 && !show_all) continue;
+    std::cout << "hist    " << name << " [" << fmt(lo) << ", ...): "
+              << fmt(counts.first) << " -> " << fmt(counts.second) << "  ("
+              << (delta >= 0.0 ? "+" : "") << fmt(delta) << ")\n";
+  }
+  if (changes > 0 && neutral)
+    std::cout << "hist    " << name
+              << ": timing-derived, not counted as a difference\n";
+  return neutral ? 0 : changes;
+}
 
 }  // namespace
 
@@ -197,6 +250,27 @@ int main(int argc, char** argv) {
       if (series_a.find(name) == series_a.end()) {
         std::cout << "series  " << name << ": only in B\n";
         ++differences;
+      }
+    }
+
+    // --- histograms: per-bucket deltas; timing-derived names are
+    // status-neutral like span timings ---
+    const auto hists_a = section(a, "histograms");
+    const auto hists_b = section(b, "histograms");
+    for (const auto& [name, va] : hists_a) {
+      const auto it = hists_b.find(name);
+      if (it == hists_b.end()) {
+        std::cout << "hist    " << name << ": only in A\n";
+        if (!is_timing_histogram(name)) ++differences;
+        continue;
+      }
+      differences += diff_histogram(name, va, it->second, show_all);
+    }
+    for (const auto& [name, vb] : hists_b) {
+      (void)vb;
+      if (hists_a.find(name) == hists_a.end()) {
+        std::cout << "hist    " << name << ": only in B\n";
+        if (!is_timing_histogram(name)) ++differences;
       }
     }
 

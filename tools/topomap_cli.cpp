@@ -29,8 +29,12 @@
 // hop-bytes trajectory).  Both need a build with -DTOPOMAP_OBS=ON to carry
 // instrumentation data; an OFF build still writes schema-valid artifacts
 // and warns that they are empty.
+#include <unistd.h>
+
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "core/contention.hpp"
 #include "core/fault_aware.hpp"
@@ -53,6 +57,7 @@
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "svc/client.hpp"
+#include "svc/metrics.hpp"
 #include "svc/protocol.hpp"
 #include "topo/components.hpp"
 #include "topo/distance_cache.hpp"
@@ -1026,7 +1031,9 @@ int cmd_client(int argc, const char* const* argv) {
   cli.add_option("socket", "daemon unix socket path", "/tmp/topomapd.sock");
   cli.add_option("tcp",
                  "daemon TCP endpoint host:port (overrides --socket)", "");
-  cli.add_option("kind", "map | explain | evacuate | optimal | status",
+  cli.add_option("kind",
+                 "map | explain | evacuate | optimal | status | metrics | "
+                 "flight",
                  "status");
   cli.add_option("id", "request id echoed in the response", "cli");
   cli.add_option("tasks", "workload spec", "stencil2d:8x8");
@@ -1049,12 +1056,16 @@ int cmd_client(int argc, const char* const* argv) {
                  "topolb");
   cli.add_flag("no-symmetry", "optimal: disable automorphism pruning");
   cli.add_option("output", "write the response's mapping bytes here", "");
+  cli.add_flag("prom",
+               "metrics: print Prometheus exposition text instead of JSON");
   add_fault_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   svc::Request req;
   req.id = cli.str("id");
   req.kind = svc::parse_request_kind(cli.str("kind"));
+  TOPOMAP_REQUIRE(!cli.flag("prom") || req.kind == svc::RequestKind::kMetrics,
+                  "--prom applies to --kind=metrics only");
   req.tasks = cli.str("tasks");
   req.topology = cli.str("topology");
   req.strategy = cli.str("strategy");
@@ -1104,6 +1115,13 @@ int cmd_client(int argc, const char* const* argv) {
       std::cerr << "error: " << resp.error.message << "\n";
     return svc::exit_code_for(cat);
   }
+  if (cli.flag("prom")) {
+    // Validates the snapshot against the topomap.svc.metrics schema on the
+    // way out, so a drifting daemon fails loudly instead of exporting
+    // garbage.
+    std::cout << svc::metrics_to_prometheus(resp.result);
+    return 0;
+  }
   std::cout << resp.to_json().dump(2) << "\n";
   if (const std::string out = cli.str("output"); !out.empty()) {
     const obs::json::Value* mapping = resp.result.find("mapping");
@@ -1113,6 +1131,104 @@ int cmd_client(int argc, const char* const* argv) {
     std::ofstream os = open_output(out);
     os << mapping->as_string();
     std::cout << "mapping written to " << out << "\n";
+  }
+  return 0;
+}
+
+/// `topomap top`: poll a running topomapd's metrics snapshot and render a
+/// compact live view — request totals and rate, queue depth, pool hit
+/// rate, and per-kind latency quantiles from the svc/<kind>/total_us
+/// histograms.  On a terminal each snapshot repaints in place; redirected
+/// output gets one block per poll (so scripts can grep a fixed iteration
+/// count).
+int cmd_top(int argc, const char* const* argv) {
+  CliParser cli("live telemetry view of a running topomapd");
+  cli.add_option("socket", "daemon unix socket path", "/tmp/topomapd.sock");
+  cli.add_option("tcp",
+                 "daemon TCP endpoint host:port (overrides --socket)", "");
+  cli.add_option("interval-ms", "poll interval in milliseconds", "1000");
+  cli.add_option("iterations", "snapshots to render (0 = until killed)",
+                 "0");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto interval =
+      std::chrono::milliseconds(std::max<std::int64_t>(
+          cli.integer("interval-ms"), 1));
+  const std::int64_t iterations = cli.integer("iterations");
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+  svc::Client client = [&] {
+    if (const std::string tcp = cli.str("tcp"); !tcp.empty()) {
+      const std::size_t colon = tcp.rfind(':');
+      TOPOMAP_REQUIRE(colon != std::string::npos && colon > 0,
+                      "--tcp wants host:port, got '" + tcp + "'");
+      return svc::Client::connect_tcp(
+          tcp.substr(0, colon), std::stoi(tcp.substr(colon + 1)));
+    }
+    return svc::Client::connect_unix(cli.str("socket"));
+  }();
+
+  double prev_served = -1.0;
+  for (std::int64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) std::this_thread::sleep_for(interval);
+    svc::Request req;
+    req.id = "top";
+    req.kind = svc::RequestKind::kMetrics;
+    const svc::Response resp = client.call(req);
+    if (!resp.ok) {
+      std::cerr << "error: " << resp.error.message << "\n";
+      return svc::exit_code_for(resp.error.category);
+    }
+    svc::validate_metrics_snapshot(resp.result);
+    const obs::json::Value& requests = resp.result.at("requests");
+    const obs::json::Value& pool = resp.result.at("pool");
+    const double served = requests.at("served").as_number();
+    const double failed = requests.at("failed").as_number();
+    const double hits = pool.at("hits").as_number();
+    const double misses = pool.at("misses").as_number();
+    const double lookups = hits + misses;
+    const double rate =
+        prev_served >= 0.0
+            ? (served - prev_served) * 1000.0 /
+                  static_cast<double>(interval.count())
+            : 0.0;
+    prev_served = served;
+
+    if (tty) std::cout << "\x1b[2J\x1b[H";  // repaint in place
+    std::cout << "topomapd  served " << static_cast<std::int64_t>(served)
+              << "  failed " << static_cast<std::int64_t>(failed)
+              << "  rate " << obs::json::format_number(rate) << "/s"
+              << "  queue "
+              << static_cast<std::int64_t>(
+                     resp.result.at("queue_depth").as_number())
+              << "  pool-hit "
+              << (lookups > 0.0
+                      ? obs::json::format_number(100.0 * hits / lookups)
+                      : "-")
+              << (lookups > 0.0 ? "%" : "") << "\n";
+    Table table("per-kind latency (us)",
+                {"kind", "count", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : resp.result.at("histograms").members()) {
+      // svc/<kind>/total_us rows only — the stage histograms stay in the
+      // JSON snapshot for obs_diff / offline analysis.
+      const std::string prefix = "svc/";
+      const std::string suffix = "/total_us";
+      if (name.size() <= prefix.size() + suffix.size() ||
+          name.compare(0, prefix.size(), prefix) != 0 ||
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0)
+        continue;
+      const std::string kind = name.substr(
+          prefix.size(), name.size() - prefix.size() - suffix.size());
+      table.add_row({kind,
+                     static_cast<std::int64_t>(h.at("count").as_number()),
+                     h.at("p50").as_number(), h.at("p90").as_number(),
+                     h.at("p99").as_number(), h.at("max").as_number()});
+    }
+    if (table.row_count() > 0) table.print(std::cout);
+    else
+      std::cout << "(no latency histograms yet — run the daemon with "
+                   "TOPOMAP_OBS=1 and a -DTOPOMAP_OBS=ON build)\n";
+    std::cout.flush();
   }
   return 0;
 }
@@ -1131,6 +1247,7 @@ void usage() {
       "  optimal    exact branch-and-bound optimum + strategy optimality gap\n"
       "  chaos      soak the dynamic runtime under seeded faults/recovery\n"
       "  client     send one request to a running topomapd daemon\n"
+      "  top        live telemetry view of a running topomapd\n"
       "\n"
       "exit codes: 0 success, 1 usage, 2 invalid input (precondition),\n"
       "            3 internal invariant violation, 4 I/O failure\n";
@@ -1157,6 +1274,7 @@ int main(int argc, char** argv) {
     if (command == "optimal") return cmd_optimal(sub_argc, sub_argv);
     if (command == "chaos") return cmd_chaos(sub_argc, sub_argv);
     if (command == "client") return cmd_client(sub_argc, sub_argv);
+    if (command == "top") return cmd_top(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       usage();
       return 0;
